@@ -1,0 +1,46 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the rows/series it reports, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces a console version of the paper's whole evaluation section.
+Every experiment is a deterministic simulation, so a single benchmark
+round is meaningful; the benchmark timer then records how long the
+artefact takes to regenerate.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to scale the application lengths
+down for quicker sweeps.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Scale on application iteration counts used by all benchmarks.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+#: Where benchmarks persist their formatted artefacts (the console
+#: tables of every reproduced figure/table), so results survive pytest's
+#: output capturing.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Write one artefact's formatted output to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def bench_scale():
+    """The configured iteration scale."""
+    return BENCH_SCALE

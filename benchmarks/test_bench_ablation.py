@@ -1,0 +1,32 @@
+"""Benchmark: ablation of the proposed controller's design choices.
+
+Not a paper artefact — DESIGN.md calls out the mechanisms that
+differentiate the proposed controller, and this bench quantifies each
+one by removing it: the sampling/decision decoupling (contribution 2 of
+the paper), the affinity dimension of the action space, and the
+workload-variation detection.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.experiments.ablation import run_ablation
+
+
+def test_ablation(benchmark, bench_scale):
+    result = run_once(benchmark, run_ablation, iteration_scale=bench_scale)
+    print()
+    print(result.format_table())
+    save_artifact("ablation", result.format_table())
+
+    # Removing the sampling/decision decoupling blinds the agent to
+    # thermal cycling: the cycling MTTF of the cycling-dominated
+    # workloads collapses.
+    assert result.value(
+        "mpeg_dec:clip 1", "no_decoupling", "cycling_mttf_years"
+    ) < result.value("mpeg_dec:clip 1", "full", "cycling_mttf_years")
+    assert result.value(
+        "mpeg_dec-tachyon", "no_decoupling", "cycling_mttf_years"
+    ) < result.value("mpeg_dec-tachyon", "full", "cycling_mttf_years")
+
+    # The DVFS-only variant must still be a functional controller (the
+    # affinity dimension is a refinement, not a crutch).
+    assert result.value("tachyon:set 2", "no_affinity", "aging_mttf_years") > 1.0

@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Figure 1 (the motivational experiment).
+
+face_rec and mpeg_enc under Linux's default placement vs the fixed
+2-2-1-1 user assignment: the four thermal-profile summaries show that
+the thermal profile varies with the application and that thread
+placement influences it — the paper's two motivating observations.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.analysis.traces import render_profile
+from repro.experiments.fig1_motivation import run_fig1
+
+
+def test_fig1_motivation(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig1, iteration_scale=bench_scale)
+    print()
+    print(result.format_table())
+    save_artifact("fig1", result.format_table())
+    print()
+    for cell in result.cells:
+        print(
+            render_profile(
+                cell.profile,
+                t_min=30.0,
+                t_max=80.0,
+                height=8,
+                title=f"{cell.app} / {cell.placement} (hottest core)",
+            )
+        )
+        print()
+
+    face_linux = result.cell("face_rec", "linux_default").summary
+    face_user = result.cell("face_rec", "user_paired_2211").summary
+    mpeg_linux = result.cell("mpeg_enc", "linux_default").summary
+
+    # Observation 1: the thermal profile varies with the application —
+    # face_rec runs hot with little headroom, mpeg_enc runs cool with
+    # pronounced cycling.
+    assert face_linux.average_temp_c > mpeg_linux.average_temp_c + 10.0
+    assert mpeg_linux.num_cycles > 0
+
+    # Observation 2: thread placement influences the profile — the two
+    # placements produce measurably different traces for face_rec.
+    assert (
+        abs(face_linux.average_temp_c - face_user.average_temp_c) > 0.5
+        or abs(face_linux.stress - face_user.stress) / max(face_linux.stress, 1e-12)
+        > 0.02
+    )

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 3 (inter-application results).
+
+Prints the normalised thermal-cycling MTTF of the six application-
+switching scenarios under Linux, the modified Ge & Qiu baseline and the
+proposed approach, and asserts the paper's ordering.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.experiments.fig3_inter import run_fig3
+
+
+def test_fig3_inter_application(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig3, iteration_scale=bench_scale)
+    print()
+    print(result.format_table())
+    save_artifact("fig3", result.format_table())
+
+    ge = result.mean_improvement("ge_modified")
+    proposed = result.mean_improvement("proposed")
+    print(
+        f"\nmean normalised cycling MTTF — ge_modified: {ge:.2f}x, "
+        f"proposed: {proposed:.2f}x (paper: ~1.8x and ~5x vs Linux)"
+    )
+
+    # Ordering: Linux < modified Ge & Qiu < proposed on average.
+    assert ge > 1.2
+    assert proposed > ge
+    # The proposed approach wins the majority of individual scenarios.
+    wins = sum(
+        1 for row in result.rows if row.normalised("proposed") >= row.normalised("ge_modified")
+    )
+    assert wins >= 4

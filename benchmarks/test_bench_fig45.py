@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figures 4 & 5 (learning phases).
+
+Prints the average/peak temperature of the face_rec trace during the
+learning transient (Figure 4 — comparable to Linux ondemand) and during
+exploitation (Figure 5 — visibly cooler).
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.analysis.traces import render_profile
+from repro.experiments.fig45_phases import run_fig45
+
+
+def test_fig45_learning_phases(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig45, iteration_scale=bench_scale)
+    print()
+    print(result.format_table())
+    save_artifact("fig45", result.format_table())
+    print()
+    print(
+        render_profile(
+            result.exploration_profile,
+            t_min=30.0,
+            t_max=80.0,
+            height=8,
+            title="Figure 4 — exploration phase (proposed, face_rec)",
+        )
+    )
+    print()
+    print(
+        render_profile(
+            result.exploitation_profile,
+            t_min=30.0,
+            t_max=80.0,
+            height=8,
+            title="Figure 5 — exploitation phase (proposed, face_rec)",
+        )
+    )
+
+    # Figure 4: while exploring, the agent still drives the chip through
+    # Linux-like excursions — the exploration window's peak reaches
+    # within a few degrees of Linux's peak.
+    assert result.exploration_profile.peak_temp_c() > result.linux.peak_temp_c - 8.0
+    # Figure 5: exploitation is clearly cooler than both.
+    assert result.exploitation_avg_c < result.exploration_avg_c - 1.0
+    assert result.exploitation_avg_c < result.linux_avg_c - 2.0

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 6 (temperature sampling interval).
+
+Prints, per sampling interval 1..10 s: the cycling MTTF as computed
+from the sampled trace, the sample autocorrelation, and the cache-miss /
+page-fault overhead counters, and asserts all four of the paper's
+trends.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.experiments.fig6_sampling import run_fig6
+
+
+def test_fig6_sampling_interval(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig6, iteration_scale=bench_scale)
+    print()
+    print(result.format_table())
+    save_artifact("fig6", result.format_table())
+
+    first, last = result.rows[0], result.rows[-1]
+    # Autocorrelation is high at 1 s and decays with the interval.
+    assert first.autocorrelation > 0.5
+    assert last.autocorrelation < first.autocorrelation
+    # Coarse sampling loses cycles: the computed MTTF inflates.
+    assert last.computed_mttf_years >= first.computed_mttf_years
+    # Management overhead falls roughly with 1/interval.
+    assert last.cache_misses < first.cache_misses * 0.6
+    assert last.page_faults < first.page_faults * 0.6

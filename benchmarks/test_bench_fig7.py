@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 7 (decision-epoch length).
+
+Prints, per application and decision epoch 5..80 s: execution time and
+dynamic energy normalised to Linux, and training time normalised to the
+5 s setting, asserting the trade-off the paper uses to pick its epoch.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.experiments.fig7_epoch import run_fig7
+
+
+def test_fig7_decision_epoch(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig7, iteration_scale=bench_scale)
+    print()
+    print(result.format_table())
+    save_artifact("fig7", result.format_table())
+
+    for app in {row.app for row in result.rows}:
+        series = result.series(app)
+        # Training time grows with the decision epoch (Figure 7c).
+        assert series[-1].training_time_s > series[0].training_time_s
+        # Small epochs carry adaptation overhead: the smallest epoch is
+        # never the cheapest point of the execution-time curve.
+        exec_times = [r.normalized_execution_time for r in series]
+        assert exec_times[0] >= min(exec_times)

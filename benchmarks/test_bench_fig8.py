@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 8 (convergence vs table size).
+
+Prints, for mpeg_dec with states x actions in {4, 8, 12}^2: the decision
+epochs to convergence and the resulting (cycling, aging) MTTF pair, and
+asserts that training time grows with the Q-table size.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.experiments.fig8_convergence import run_fig8
+
+
+def test_fig8_convergence(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig8, iteration_scale=bench_scale)
+    print()
+    print(result.format_table())
+    save_artifact("fig8", result.format_table())
+
+    def iterations(states, actions):
+        return next(
+            r.iterations_to_converge
+            for r in result.rows
+            if r.num_states == states and r.num_actions == actions
+        )
+
+    # The corner-to-corner trend of the convergence surface.
+    assert iterations(12, 12) > iterations(4, 4)
+    # Growth along each axis from the smallest design point.
+    assert iterations(12, 4) >= iterations(4, 4)
+    assert iterations(4, 12) >= iterations(4, 4)
+    # Every design point still produces a safe, finite MTTF pair.
+    for row in result.rows:
+        assert 0.0 < row.cycling_mttf_years <= 10.0
+        assert 0.0 < row.aging_mttf_years <= 10.0

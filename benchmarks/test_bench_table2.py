@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Table 2 (intra-application results).
+
+Prints the paper's Table 2 columns — average temperature, peak
+temperature, thermal-cycling MTTF and aging MTTF for Linux, Ge & Qiu and
+the proposed approach on tachyon / mpeg_dec / mpeg_enc x 3 datasets —
+and asserts its qualitative shape.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.experiments.table2_intra import run_table2
+
+
+def test_table2_intra_application(benchmark, bench_scale):
+    result = run_once(benchmark, run_table2, iteration_scale=bench_scale)
+    print()
+    print(result.format_table())
+    save_artifact("table2", result.format_table())
+
+    tc_gain_vs_linux = result.improvement("cycling_mttf_years", over="linux")
+    tc_gain_vs_ge = result.improvement("cycling_mttf_years", over="ge")
+    age_gain_vs_ge = result.improvement("aging_mttf_years", over="ge")
+    print(
+        f"\nproposed vs linux cycling MTTF: {tc_gain_vs_linux:.2f}x "
+        f"(paper: ~2.3x)\n"
+        f"proposed vs ge cycling MTTF:    {tc_gain_vs_ge:.2f}x (paper: ~2x)\n"
+        f"proposed vs ge aging MTTF:      {age_gain_vs_ge:.2f}x (paper: ~1.13x)"
+    )
+
+    # Shape assertions: who wins, roughly by how much.
+    assert tc_gain_vs_linux > 1.5
+    assert tc_gain_vs_ge > 1.2
+    assert age_gain_vs_ge > 1.0
+    # Proposed has the lowest average temperature on most rows.
+    cooler_rows = sum(
+        1
+        for row in result.rows
+        if row.summaries["proposed"].average_temp_c
+        <= min(
+            row.summaries["linux"].average_temp_c,
+            row.summaries["ge"].average_temp_c,
+        )
+        + 1.0
+    )
+    assert cooler_rows >= len(result.rows) * 2 // 3

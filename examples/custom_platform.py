@@ -1,0 +1,92 @@
+"""Run the thermal manager on a custom platform.
+
+The library is not tied to the paper's quad-core: this example builds a
+hotter, poorly-cooled variant of the platform (smaller heat spreader and
+weaker heatsink — think a fanless mini-PC), gives the agent a custom
+action space, and shows that the learned policy adapts to the different
+thermal envelope.
+
+Run with::
+
+    python examples/custom_platform.py
+"""
+
+from dataclasses import replace
+
+from repro.config import (
+    PlatformConfig,
+    ThermalConfig,
+    default_agent_config,
+    default_reliability_config,
+)
+from repro.core.actions import Action, ActionSpace
+from repro.core.manager import ProposedThermalManager
+from repro.soc.simulator import Simulation
+from repro.units import ghz
+from repro.workloads.alpbench import make_application
+
+
+def fanless_platform() -> PlatformConfig:
+    """A thermally constrained variant of the default quad-core."""
+    return PlatformConfig(
+        thermal=ThermalConfig(
+            ambient_c=35.0,  # enclosed case
+            spreader_to_ambient=0.7,  # weak passive heatsink
+            spreader_capacitance=30.0,  # small spreader
+        )
+    )
+
+
+def small_action_space() -> ActionSpace:
+    """A minimal DVFS+mapping menu for the constrained platform."""
+    return ActionSpace(
+        [
+            Action("os_default", "powersave"),
+            Action("spread_rr", "userspace", ghz(2.0)),
+            Action("spread_rr", "userspace", ghz(2.4)),
+            Action("cluster_2", "userspace", ghz(1.6)),
+        ]
+    )
+
+
+def main() -> None:
+    platform = fanless_platform()
+    reliability = default_reliability_config()
+    app = make_application("tachyon", "set 2", seed=1)
+
+    print("fanless platform, tachyon set 2\n")
+    for label, manager in (
+        ("linux ondemand", None),
+        (
+            "proposed (custom 4-action space)",
+            ProposedThermalManager(
+                default_agent_config(), reliability, small_action_space()
+            ),
+        ),
+    ):
+        sim = Simulation(
+            [make_application("tachyon", "set 2", seed=1)],
+            platform=platform,
+            governor="ondemand",
+            manager=manager,
+            seed=1,
+            max_time_s=20_000,
+        )
+        result = sim.run()
+        report = result.reliability(reliability)
+        print(
+            f"{label:34s} avg={report['average_temp_c']:5.1f}C "
+            f"peak={report['peak_temp_c']:5.1f}C "
+            f"ageMTTF={report['aging_mttf_years']:5.2f}y "
+            f"tcMTTF={report['cycling_mttf_years']:5.2f}y "
+            f"exec={result.total_time_s:7.1f}s"
+        )
+    print(
+        "\nOn the constrained platform the agent settles on lower"
+        "\noperating points than it would on the desktop part — the same"
+        "\nlibrary, a different learned policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Compare every thermal-management policy on one workload.
+
+Sweeps the full policy set of the paper's evaluation — Linux governors,
+fixed userspace frequencies, the Ge & Qiu learning baseline, and the
+proposed approach — on the tachyon renderer, and prints a Table 2/3/9
+style comparison (temperature, MTTF, execution time, power/energy).
+
+Run with::
+
+    python examples/policy_comparison.py [app] [dataset]
+"""
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.experiments.runner import POLICIES, run_workload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "tachyon"
+    dataset = sys.argv[2] if len(sys.argv) > 2 else None
+
+    rows = []
+    for policy in POLICIES:
+        print(f"running {app} under {policy} ...")
+        summary = run_workload(app, dataset, policy, seed=1)
+        rows.append(
+            [
+                policy,
+                summary.average_temp_c,
+                summary.peak_temp_c,
+                summary.cycling_mttf_years,
+                summary.aging_mttf_years,
+                summary.execution_time_s,
+                summary.average_dynamic_power_w,
+                summary.dynamic_energy_j / 1e3,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "policy",
+                "avgT_C",
+                "peakT_C",
+                "tcMTTF_y",
+                "ageMTTF_y",
+                "exec_s",
+                "Pdyn_W",
+                "Edyn_kJ",
+            ],
+            rows,
+            title=f"Policy comparison — {app}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

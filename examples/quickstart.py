@@ -1,0 +1,65 @@
+"""Quickstart: run one workload under Linux and under the RL manager.
+
+This is the smallest end-to-end use of the library: build the simulated
+quad-core platform, execute the mpeg_dec workload under Linux's
+``ondemand`` governor and under the paper's Q-learning thermal manager,
+and compare temperature, lifetime and energy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.config import default_agent_config, default_reliability_config
+from repro.core.manager import ProposedThermalManager
+from repro.soc.simulator import Simulation
+from repro.workloads.alpbench import make_application
+
+
+def run_once(use_manager: bool) -> dict:
+    """Execute mpeg_dec to completion and summarise the run."""
+    reliability = default_reliability_config()
+    manager = (
+        ProposedThermalManager(default_agent_config(), reliability)
+        if use_manager
+        else None
+    )
+    sim = Simulation(
+        [make_application("mpeg_dec", "clip 1", seed=1)],
+        governor="ondemand",
+        manager=manager,
+        seed=1,
+        max_time_s=10_000,
+    )
+    result = sim.run()
+    report = result.reliability(reliability)
+    return {
+        "policy": "proposed RL manager" if use_manager else "linux ondemand",
+        "execution_s": result.total_time_s,
+        "avg_temp_c": report["average_temp_c"],
+        "peak_temp_c": report["peak_temp_c"],
+        "cycling_mttf_y": report["cycling_mttf_years"],
+        "aging_mttf_y": report["aging_mttf_years"],
+        "dynamic_energy_kj": result.energy.dynamic_j / 1e3,
+    }
+
+
+def main() -> None:
+    print("Running mpeg_dec (clip 1) on the simulated quad-core platform...\n")
+    rows = [run_once(use_manager=False), run_once(use_manager=True)]
+    keys = list(rows[0].keys())
+    width = max(len(k) for k in keys)
+    for key in keys:
+        cells = []
+        for row in rows:
+            value = row[key]
+            cells.append(f"{value:12.2f}" if isinstance(value, float) else f"{value:>20}")
+        print(f"{key:<{width}} : " + " | ".join(cells))
+    print(
+        "\nThe managed run trades a little execution time for a visibly"
+        "\ncooler, less-cycling profile and a longer MTTF."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Reproduction of Das et al., "Reinforcement Learning-Based Inter- and
+Intra-Application Thermal Optimization for Lifetime Improvement of
+Multicore Systems" (DAC 2014).
+
+Public API entry points:
+
+* :mod:`repro.config` — platform / reliability / agent configuration;
+* :mod:`repro.core` — the paper's Q-learning thermal manager;
+* :mod:`repro.soc` — the simulated quad-core platform and engine;
+* :mod:`repro.workloads` — the ALPBench stand-in applications;
+* :mod:`repro.reliability` — MTTF models (rainflow, Coffin-Manson,
+  Miner, Arrhenius aging);
+* :mod:`repro.baselines` — Linux, static and Ge & Qiu policies;
+* :mod:`repro.experiments` — one module per paper table/figure;
+* ``python -m repro`` — command-line artefact regeneration.
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import (
+    default_agent_config,
+    default_platform_config,
+    default_reliability_config,
+)
+
+__all__ = [
+    "__version__",
+    "default_agent_config",
+    "default_platform_config",
+    "default_reliability_config",
+]

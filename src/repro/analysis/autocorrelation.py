@@ -1,0 +1,50 @@
+"""Autocorrelation and decimation for the sampling-interval study.
+
+Figure 6 of the paper plots the autocorrelation of consecutive thermal
+samples against the sampling interval: slow silicon thermals make
+1-second samples highly correlated, and the correlation decays as the
+interval grows — one of the trade-offs behind the 3 s design point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def autocorrelation(series: Sequence[float], lag: int = 1) -> float:
+    """Lag-``lag`` autocorrelation coefficient of a series.
+
+    Parameters
+    ----------
+    series:
+        Samples in time order; at least ``lag + 2`` samples required.
+    lag:
+        Lag in samples (1 = consecutive samples).
+
+    Returns
+    -------
+    float
+        Pearson correlation between the series and its lagged self;
+        0.0 when the series is constant (no variance to correlate).
+    """
+    values = np.asarray(series, dtype=float)
+    if lag < 1:
+        raise ValueError("lag must be >= 1")
+    if len(values) < lag + 2:
+        raise ValueError("series too short for the requested lag")
+    head = values[:-lag]
+    tail = values[lag:]
+    head_std = head.std()
+    tail_std = tail.std()
+    if head_std == 0.0 or tail_std == 0.0:
+        return 0.0
+    return float(((head - head.mean()) * (tail - tail.mean())).mean() / (head_std * tail_std))
+
+
+def decimate(series: Sequence[float], factor: int) -> List[float]:
+    """Keep every ``factor``-th sample (simulates a slower sensor read)."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    return list(series[::factor])

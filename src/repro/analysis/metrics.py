@@ -1,0 +1,47 @@
+"""Small numeric helpers used when assembling experiment tables."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+
+def normalise_to(values: Dict[str, float], reference_key: str) -> Dict[str, float]:
+    """Normalise a dict of values by one entry (e.g. the Linux baseline).
+
+    Parameters
+    ----------
+    values:
+        Metric per policy.
+    reference_key:
+        The policy whose value becomes 1.0.
+
+    Raises
+    ------
+    KeyError
+        If the reference key is missing.
+    ValueError
+        If the reference value is zero.
+    """
+    reference = values[reference_key]
+    if reference == 0.0:
+        raise ValueError("cannot normalise by a zero reference")
+    return {key: value / reference for key, value in values.items()}
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (ratios across workloads)."""
+    values = list(values)
+    if not values:
+        raise ValueError("empty sequence")
+    if any(v <= 0.0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean."""
+    values = list(values)
+    if not values:
+        raise ValueError("empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints its rows with this renderer so the console output
+is directly comparable with the paper's tables and figure series.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row cells; floats are formatted with ``float_format``, everything
+        else with ``str``.
+    title:
+        Optional title line printed above the table.
+    float_format:
+        Format spec applied to float cells.
+    """
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        if len(cells) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append(" | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)))
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""ASCII rendering of thermal traces.
+
+The paper's Figures 1, 4 and 5 are temperature-vs-time plots.  The
+benchmark harness runs in a terminal, so this module renders a
+:class:`~repro.thermal.profile.ThermalProfile` as a compact ASCII chart
+(one row per temperature band, one column per time bucket) — enough to
+see the qualitative shapes: face_rec's plateau, mpeg's comb of GOP
+bursts, the exploration chaos vs the exploitation flat-line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.thermal.profile import ThermalProfile
+
+#: Glyph drawn for cells the trace passes through.
+_MARK = "#"
+
+
+def render_series(
+    series: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    t_min: Optional[float] = None,
+    t_max: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render one temperature series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Temperature samples in degrees Celsius.
+    width:
+        Chart width in character columns; samples are bucketed.
+    height:
+        Chart height in rows.
+    t_min / t_max:
+        Fixed temperature axis (auto-scaled when omitted) — pass the
+        same limits to make two charts comparable.
+    title:
+        Optional title line.
+    """
+    values = np.asarray(list(series), dtype=float)
+    if values.size == 0:
+        raise ValueError("empty series")
+    lo = float(values.min()) if t_min is None else t_min
+    hi = float(values.max()) if t_max is None else t_max
+    if hi <= lo:
+        hi = lo + 1.0
+
+    # Bucket samples into columns (min/max band per bucket).
+    buckets = np.array_split(values, min(width, values.size))
+    grid = [[" "] * len(buckets) for _ in range(height)]
+    for col, bucket in enumerate(buckets):
+        b_lo = (float(bucket.min()) - lo) / (hi - lo)
+        b_hi = (float(bucket.max()) - lo) / (hi - lo)
+        row_lo = int(np.clip(b_lo * (height - 1), 0, height - 1))
+        row_hi = int(np.clip(b_hi * (height - 1), 0, height - 1))
+        for row in range(row_lo, row_hi + 1):
+            grid[height - 1 - row][col] = _MARK
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{hi:5.1f}C "
+        elif index == height - 1:
+            label = f"{lo:5.1f}C "
+        else:
+            label = " " * 7
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * len(buckets))
+    return "\n".join(lines)
+
+
+def render_profile(
+    profile: ThermalProfile,
+    core: Optional[int] = None,
+    width: int = 72,
+    height: int = 12,
+    t_min: Optional[float] = None,
+    t_max: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render a profile (one core, or the hottest-core envelope).
+
+    Parameters
+    ----------
+    profile:
+        The recorded thermal profile.
+    core:
+        Core index to plot; when omitted, each sample plots the maximum
+        across cores (the envelope the reliability models care about).
+    """
+    if core is not None:
+        series = profile.core_series(core)
+    else:
+        series = profile.as_array().max(axis=1).tolist()
+    return render_series(
+        series, width=width, height=height, t_min=t_min, t_max=t_max, title=title
+    )

@@ -1,0 +1,52 @@
+"""Plain-Linux baseline: default scheduling plus a cpufreq governor.
+
+The paper's primary baseline is Linux's ``ondemand`` governor with the
+kernel's own thread placement and no thermal management at all.  This
+module is a thin convenience around :class:`repro.soc.simulator.Simulation`
+so experiments can spell the baseline explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import PlatformConfig
+from repro.soc.simulator import Simulation
+from repro.workloads.application import Application
+
+
+def make_linux_simulation(
+    applications: Sequence[Application],
+    governor: str = "ondemand",
+    userspace_frequency_hz: Optional[float] = None,
+    platform: Optional[PlatformConfig] = None,
+    seed: int = 0,
+    max_time_s: Optional[float] = None,
+) -> Simulation:
+    """Build a Simulation with no thermal manager (pure Linux behaviour).
+
+    Parameters
+    ----------
+    applications:
+        Applications to execute back-to-back.
+    governor:
+        cpufreq governor name (``ondemand`` is Linux's default).
+    userspace_frequency_hz:
+        Frequency for the ``userspace`` governor.
+    platform:
+        Platform configuration override.
+    seed:
+        Sensor-noise seed.
+    max_time_s:
+        Safety time limit.
+    """
+    return Simulation(
+        applications,
+        platform=platform,
+        governor=governor,
+        userspace_frequency_hz=userspace_frequency_hz,
+        mapping=None,
+        manager=None,
+        seed=seed,
+        max_time_s=max_time_s,
+    )

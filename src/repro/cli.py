@@ -1,0 +1,117 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+::
+
+    python -m repro table2            # Table 2
+    python -m repro fig3 --scale 0.5  # Figure 3 at half length
+    python -m repro run tachyon --dataset "set 1" --policy proposed
+    python -m repro list              # available artefacts & policies
+
+Every artefact command prints the same console table its benchmark
+prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.fig1_motivation import run_fig1
+from repro.experiments.fig3_inter import run_fig3
+from repro.experiments.fig45_phases import run_fig45
+from repro.experiments.fig6_sampling import run_fig6
+from repro.experiments.fig7_epoch import run_fig7
+from repro.experiments.fig8_convergence import run_fig8
+from repro.experiments.fig9_power import run_fig9
+from repro.experiments.runner import POLICIES, run_workload
+from repro.experiments.table2_intra import run_table2
+from repro.experiments.table3_exec_time import run_table3
+from repro.workloads.alpbench import APP_NAMES
+
+#: Artefact name -> experiment entry point.
+ARTEFACTS: Dict[str, Callable] = {
+    "fig1": run_fig1,
+    "table2": run_table2,
+    "fig3": run_fig3,
+    "fig45": run_fig45,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "table3": run_table3,
+    "fig9": run_fig9,
+    "ablation": run_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DAC'14 RL thermal-management paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ARTEFACTS:
+        artefact = sub.add_parser(name, help=f"regenerate {name}")
+        artefact.add_argument(
+            "--scale",
+            type=float,
+            default=1.0,
+            help="application-length scale (default 1.0)",
+        )
+        artefact.add_argument("--seed", type=int, default=1)
+
+    run = sub.add_parser("run", help="run one workload under one policy")
+    run.add_argument("app", choices=APP_NAMES)
+    run.add_argument("--dataset", default=None)
+    run.add_argument("--policy", default="proposed", choices=POLICIES)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="list artefacts, applications and policies")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    summary = run_workload(
+        args.app,
+        args.dataset,
+        args.policy,
+        seed=args.seed,
+        iteration_scale=args.scale,
+    )
+    print(f"{summary.app} ({summary.dataset}) under {summary.policy}:")
+    print(f"  average temperature : {summary.average_temp_c:8.1f} C")
+    print(f"  peak temperature    : {summary.peak_temp_c:8.1f} C")
+    print(f"  cycling MTTF        : {summary.cycling_mttf_years:8.2f} years")
+    print(f"  aging MTTF          : {summary.aging_mttf_years:8.2f} years")
+    print(f"  execution time      : {summary.execution_time_s:8.1f} s")
+    print(f"  avg dynamic power   : {summary.average_dynamic_power_w:8.1f} W")
+    print(f"  dynamic energy      : {summary.dynamic_energy_j / 1e3:8.1f} kJ")
+    return 0
+
+
+def _command_list() -> int:
+    print("artefacts   :", ", ".join(ARTEFACTS))
+    print("applications:", ", ".join(APP_NAMES))
+    print("policies    :", ", ".join(POLICIES))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    experiment = ARTEFACTS[args.command]
+    result = experiment(iteration_scale=args.scale, seed=args.seed)
+    print(result.format_table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

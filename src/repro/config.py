@@ -1,0 +1,312 @@
+"""Central configuration dataclasses for the reproduction.
+
+Every tunable of the platform simulator, the reliability models and the
+learning agent lives here, so experiments can be described as small diffs
+against :func:`default_platform_config` / :func:`default_agent_config`.
+
+The default numbers are calibrated so that the simulated quad-core chip
+behaves like the Intel desktop part used in the paper:
+
+* an idle core sits a few degrees above the 30 degC ambient;
+* a fully loaded chip (4 cores at 3.4 GHz, activity ~1) reaches ~70 degC,
+  matching the hottest row of Table 2 (tachyon, set 1, Linux);
+* core-level thermal time constants are a couple of seconds, so the
+  seconds-scale compute/sync phase alternation of the multimedia workloads
+  produces sensor-visible thermal cycling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.units import ghz
+
+# ---------------------------------------------------------------------------
+# Platform: operating points, power, thermal
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A voltage/frequency pair (an OPP in cpufreq terminology).
+
+    Attributes
+    ----------
+    frequency_hz:
+        Core clock frequency in hertz.
+    voltage_v:
+        Supply voltage in volts at that frequency.
+    """
+
+    frequency_hz: float
+    voltage_v: float
+
+
+def default_opp_table() -> Tuple[OperatingPoint, ...]:
+    """The default DVFS ladder: 1.6 GHz ... 3.4 GHz, scaled voltage.
+
+    The three ``userspace`` frequencies exposed to the learning agent
+    (Section 5.1 of the paper selects three levels) are 2.0, 2.4 and
+    3.4 GHz; Table 3 of the paper reports the 2.4 GHz and 3.4 GHz columns.
+    """
+    return (
+        OperatingPoint(ghz(1.6), 0.800),
+        OperatingPoint(ghz(2.0), 0.875),
+        OperatingPoint(ghz(2.4), 0.950),
+        OperatingPoint(ghz(2.8), 1.000),
+        OperatingPoint(ghz(3.2), 1.0625),
+        OperatingPoint(ghz(3.4), 1.100),
+    )
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Parameters of the per-core power model.
+
+    Dynamic power is ``activity * c_eff * V^2 * f``; static (leakage)
+    power is ``k_leak * V * exp(t_leak * T_celsius)``, the standard
+    exponential temperature dependence used by the leakage models the
+    paper cites (Ukhov et al., ref. [17]).
+    """
+
+    #: Effective switched capacitance per core (farads).
+    c_eff: float = 2.00e-9
+    #: Leakage scale factor (watts per volt at 0 degC).
+    k_leak: float = 0.316
+    #: Exponential leakage temperature coefficient (per degC).
+    t_leak: float = 0.020
+    #: Power drawn by the uncore/memory system per unit of core activity.
+    uncore_power_per_active_core: float = 0.8
+    #: Constant platform baseline power attributed to the package (watts).
+    idle_package_power: float = 1.2
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Parameters of the lumped RC thermal network.
+
+    The network has one node per core plus a single heat-spreader node
+    that couples every core to ambient.  Conductances are in W/K and heat
+    capacities in J/K; see ``repro.thermal.rc_model`` for the equations.
+    """
+
+    #: Ambient temperature in degrees Celsius.
+    ambient_c: float = 30.0
+    #: Heat capacity of each core node (J/K) -> tau of a second or two.
+    core_capacitance: float = 0.8
+    #: Heat capacity of the spreader node (J/K) -> slow package drift.
+    spreader_capacitance: float = 55.0
+    #: Conductance from each core to the spreader (W/K).
+    core_to_spreader: float = 0.50
+    #: Conductance between physically adjacent cores (W/K).
+    core_to_core: float = 0.20
+    #: Conductance from the spreader to ambient (W/K).
+    spreader_to_ambient: float = 1.05
+    #: Std-dev of the Ornstein-Uhlenbeck ambient/airflow fluctuation
+    #: (degC); 0 disables it.  A physical testbed's effective ambient
+    #: wanders with airflow and room temperature — this is the slow
+    #: variance behind the high short-interval autocorrelation of the
+    #: paper's Figure 6.
+    ambient_drift_sigma_c: float = 0.0
+    #: Correlation time of the ambient fluctuation (seconds).
+    ambient_drift_tau_s: float = 8.0
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """On-board digital thermal sensor model.
+
+    Intel DTS readings are quantised to 1 degC; we add a small Gaussian
+    noise before quantisation so repeated samples of a steady core are
+    realistic for the autocorrelation study of Figure 6.
+    """
+
+    #: Quantisation step in degrees Celsius (0 disables quantisation).
+    quantisation_c: float = 1.0
+    #: Standard deviation of additive Gaussian noise (degC).
+    noise_std_c: float = 0.25
+    #: Saturation limits of the sensor (degC).
+    min_c: float = 0.0
+    max_c: float = 125.0
+    #: Time constant of the sensor reading path's low-pass filtering
+    #: (seconds); 0 disables it.  Physical DTS readings respond with the
+    #: sensor diode's own thermal mass plus firmware averaging — the
+    #: reason consecutive 1 s samples of a real chip are so similar
+    #: (Figure 6's autocorrelation panel).
+    ema_tau_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything that defines the simulated quad-core platform."""
+
+    num_cores: int = 4
+    #: Simulation tick in seconds.
+    dt: float = 0.1
+    opp_table: Tuple[OperatingPoint, ...] = field(default_factory=default_opp_table)
+    power: PowerConfig = field(default_factory=PowerConfig)
+    thermal: ThermalConfig = field(default_factory=ThermalConfig)
+    sensor: SensorConfig = field(default_factory=SensorConfig)
+    #: Adjacency of cores on the die as index pairs (2x2 grid by default).
+    core_adjacency: Tuple[Tuple[int, int], ...] = ((0, 1), (0, 2), (1, 3), (2, 3))
+
+    def min_frequency(self) -> float:
+        """Lowest frequency of the OPP table in hertz."""
+        return min(p.frequency_hz for p in self.opp_table)
+
+    def max_frequency(self) -> float:
+        """Highest frequency of the OPP table in hertz."""
+        return max(p.frequency_hz for p in self.opp_table)
+
+    def frequencies(self) -> List[float]:
+        """All OPP frequencies in ascending order (hertz)."""
+        return sorted(p.frequency_hz for p in self.opp_table)
+
+    def voltage_for(self, frequency_hz: float) -> float:
+        """Voltage of the OPP whose frequency matches ``frequency_hz``.
+
+        Raises
+        ------
+        KeyError
+            If no operating point has that exact frequency.
+        """
+        for point in self.opp_table:
+            if abs(point.frequency_hz - frequency_hz) < 1.0:
+                return point.voltage_v
+        raise KeyError(f"no operating point at {frequency_hz} Hz")
+
+
+# ---------------------------------------------------------------------------
+# Reliability
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Device parameters for the aging and thermal-cycling MTTF models.
+
+    The constants follow the embedded-reliability literature that the
+    paper cites (Chantem et al. [2], Ukhov et al. [17], Srinivasan et
+    al. [15]) and are scaled, per the caption of Table 2, so that an
+    unstressed (idle) core has an MTTF of exactly ``baseline_mttf_years``.
+    """
+
+    #: Reference temperature of an unstressed core (degC): aging rate 1.
+    #: This is the steady-state temperature of an idle core on the default
+    #: platform (ambient 30 degC plus idle leakage/package heat), so an
+    #: idle run reports exactly the baseline MTTF.
+    reference_temp_c: float = 34.0
+    #: Activation energy of the aging (EM/NBTI) Arrhenius term (eV).
+    aging_activation_energy_ev: float = 0.70
+    #: Weibull slope of the lifetime distribution.
+    weibull_beta: float = 2.0
+    #: Coffin-Manson exponent ``b`` of Eq. 3.
+    coffin_manson_exponent: float = 2.35
+    #: Temperature amplitude below which deformation is elastic (K).
+    elastic_threshold_k: float = 2.5
+    #: Activation energy of the cycling term in Eq. 3 (eV).
+    cycling_activation_energy_ev: float = 0.30
+    #: MTTF of an unstressed core, the calibration anchor (years).
+    baseline_mttf_years: float = 10.0
+    #: Empirical Coffin-Manson scale ``ATC`` of Eq. 3.  ``None`` means
+    #: auto-calibrate (see ``repro.reliability.mttf.calibrate_atc``) so
+    #: that a reference profile cycling 10 K around 50 degC every 20 s
+    #: yields a cycling MTTF of ``cycling_reference_mttf_years``, placing
+    #: the Table 2 workloads inside the paper's 0.7-7.1 year band.
+    cycling_scale_atc: "float | None" = None
+    #: Target cycling MTTF of the calibration reference profile (years).
+    cycling_reference_mttf_years: float = 1.5
+
+
+# ---------------------------------------------------------------------------
+# Learning agent (the paper's contribution)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Hyper-parameters of Algorithm 1.
+
+    The defaults correspond to the choices the paper reports in
+    Section 6.4: a 3 s temperature sampling interval, a decision epoch
+    chosen from the Figure 7 trade-off (30 s), and state/action space
+    sizes from the Figure 8 trade-off.
+    """
+
+    #: Temperature sampling interval in seconds (Figure 6 sweeps this).
+    sampling_interval_s: float = 3.0
+    #: Decision epoch in seconds (Figure 7 sweeps this).
+    decision_epoch_s: float = 30.0
+    #: Number of stress bins Ns (Section 5.1).
+    num_stress_bins: int = 3
+    #: Number of aging bins Na (Section 5.1).
+    num_aging_bins: int = 3
+    #: Number of actions exposed to the agent (Figure 8 sweeps this).
+    num_actions: int = 8
+    #: Discount rate gamma of Eq. 7.
+    discount: float = 0.50
+    #: Time constant (in epochs) of the exponential alpha decay.
+    alpha_decay_epochs: float = 8.0
+    #: Alpha below which the agent is considered in pure exploitation.
+    alpha_exploit_threshold: float = 0.05
+    #: Alpha restored on intra-application variation (Section 5.4).
+    alpha_intra: float = 0.15
+    #: Lower/upper thresholds on the stress moving-average deviation.
+    stress_ma_lower: float = 0.15
+    stress_ma_upper: float = 0.20
+    #: Lower/upper thresholds on the aging moving-average deviation.
+    aging_ma_lower: float = 0.15
+    aging_ma_upper: float = 0.20
+    #: Window (in epochs) of the stress/aging moving averages.
+    ma_window: int = 3
+    #: Relative importance pairs (a, b) of stress vs aging in the reward
+    #: (Section 5.2): cycling-dominant epochs use the first pair, aging
+    #: dominant epochs the second.
+    weight_stress_dominant: Tuple[float, float] = (0.75, 0.25)
+    weight_aging_dominant: Tuple[float, float] = (0.25, 0.75)
+    #: Width (in normalised units) of the Gaussian learning weights K1/K2.
+    gaussian_width: float = 0.35
+    #: Centre of the Gaussian learning weights in normalised [0, 1].
+    gaussian_centre: float = 0.45
+    #: Scale of the performance term (Pc - P) in the reward.
+    performance_weight: float = 2.0
+    #: Random seed for action exploration.
+    seed: int = 2014
+
+
+@dataclass(frozen=True)
+class GeQiuConfig:
+    """Hyper-parameters of the Ge & Qiu (DAC 2011) baseline controller."""
+
+    #: Sampling interval == decision interval (no decoupling).
+    interval_s: float = 3.0
+    #: Number of instantaneous-temperature bins in its state space.
+    num_temp_bins: int = 8
+    #: Temperature range covered by the bins (degC).
+    temp_range_c: Tuple[float, float] = (30.0, 85.0)
+    #: Temperature above which the reward turns into a penalty (the
+    #: thermal constraint their manager keeps the chip under).
+    temp_threshold_c: float = 55.0
+    discount: float = 0.5
+    alpha_decay_epochs: float = 40.0
+    #: Weight of the over-threshold temperature penalty in its reward.
+    temp_weight: float = 1.0
+    #: Weight of the performance term in its reward.
+    perf_weight: float = 0.6
+    seed: int = 2011
+
+
+def default_platform_config() -> PlatformConfig:
+    """A fresh default platform configuration."""
+    return PlatformConfig()
+
+
+def default_reliability_config() -> ReliabilityConfig:
+    """A fresh default reliability configuration."""
+    return ReliabilityConfig()
+
+
+def default_agent_config() -> AgentConfig:
+    """A fresh default agent configuration."""
+    return AgentConfig()

@@ -1,0 +1,47 @@
+"""The paper's contribution: the Q-learning thermal manager.
+
+This package implements Algorithm 1 and Sections 5.1-5.4:
+
+* :mod:`repro.core.state` — the (stress, aging) state space with its
+  discretisation into ``Ns`` x ``Na`` bins;
+* :mod:`repro.core.actions` — the restricted action space of affinity
+  mappings x CPU governors;
+* :mod:`repro.core.reward` — the Eq. 8 reward with Gaussian learning
+  weights and the performance-constraint term;
+* :mod:`repro.core.qtable` — the Q-table of Eq. 7, with the dual-table
+  snapshot/restore mechanism of Section 5.4;
+* :mod:`repro.core.schedule` — the exponentially decaying learning rate
+  and the three learning phases of Section 5.3;
+* :mod:`repro.core.variation` — moving-average detection of intra- and
+  inter-application workload variation (Section 5.4);
+* :mod:`repro.core.agent` — the learning agent tying it all together
+  (the pseudo-code of Algorithm 1);
+* :mod:`repro.core.manager` — the run-time system that samples the
+  sensors, drives the agent at decision epochs and actuates affinity
+  masks and governors through the OS layer.
+"""
+
+from repro.core.actions import Action, ActionSpace, default_action_space
+from repro.core.agent import QLearningThermalAgent
+from repro.core.manager import ProposedThermalManager
+from repro.core.qtable import QTable
+from repro.core.reward import RewardFunction
+from repro.core.schedule import AlphaSchedule, LearningPhase
+from repro.core.state import EpochObservation, StateSpace
+from repro.core.variation import VariationDetector, VariationKind
+
+__all__ = [
+    "Action",
+    "ActionSpace",
+    "AlphaSchedule",
+    "EpochObservation",
+    "LearningPhase",
+    "ProposedThermalManager",
+    "QLearningThermalAgent",
+    "QTable",
+    "RewardFunction",
+    "StateSpace",
+    "VariationDetector",
+    "VariationKind",
+    "default_action_space",
+]

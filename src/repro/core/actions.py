@@ -1,0 +1,135 @@
+"""Action space of the learning agent (Section 5.1).
+
+An action is a pair ``(affinity mapping, CPU governor)``.  The number of
+possible affinity masks grows exponentially with threads and cores, so —
+exactly as the paper does — only a few structured alternatives are
+exposed, combined with the five Linux governors (with three frequency
+levels for ``userspace``).  The default space has 8 actions, the value
+the Figure 8 trade-off selects; :func:`build_action_space` can build the
+4- and 12-action variants that figure sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sched.affinity import AffinityMapping, mapping_by_name
+from repro.units import ghz
+
+
+@dataclass(frozen=True)
+class Action:
+    """One (mapping, governor) actuation choice.
+
+    Attributes
+    ----------
+    mapping_name:
+        Preset name from :mod:`repro.sched.affinity`.
+    governor:
+        cpufreq governor name.
+    userspace_frequency_hz:
+        Frequency for the ``userspace`` governor, else ``None``.
+    """
+
+    mapping_name: str
+    governor: str
+    userspace_frequency_hz: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        """Short display label used in logs and experiment tables."""
+        if self.governor == "userspace":
+            gov = f"userspace@{self.userspace_frequency_hz / 1e9:.1f}GHz"
+        else:
+            gov = self.governor
+        return f"{self.mapping_name}+{gov}"
+
+    def mapping(self, num_threads: int = 6) -> Optional[AffinityMapping]:
+        """Materialise the affinity mapping (None for the OS default)."""
+        if self.mapping_name == "os_default":
+            return None
+        return mapping_by_name(self.mapping_name, num_threads)
+
+
+#: The full menu the sized spaces draw from, ordered so that a prefix of
+#: any length is a sensible space: thermal knobs early, extremes later.
+_ACTION_MENU: List[Action] = [
+    Action("os_default", "ondemand"),
+    Action("spread_rr", "userspace", ghz(2.4)),
+    Action("spread_rr", "userspace", ghz(2.0)),
+    Action("os_default", "powersave"),
+    Action("paired_2211", "userspace", ghz(2.4)),
+    Action("cluster_3", "userspace", ghz(2.0)),
+    Action("spread_rr", "conservative"),
+    Action("os_default", "userspace", ghz(3.4)),
+    Action("half_split", "userspace", ghz(2.4)),
+    Action("paired_2211", "conservative"),
+    Action("cluster_2", "userspace", ghz(2.0)),
+    Action("spread_alt", "userspace", ghz(2.4)),
+]
+
+
+class ActionSpace:
+    """An ordered, indexable set of actions.
+
+    Parameters
+    ----------
+    actions:
+        The actions, in Q-table column order.
+    """
+
+    def __init__(self, actions: Sequence[Action]) -> None:
+        if not actions:
+            raise ValueError("need at least one action")
+        labels = [a.label for a in actions]
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate actions in the space")
+        self._actions = list(actions)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self):
+        return iter(self._actions)
+
+    def __getitem__(self, index: int) -> Action:
+        return self._actions[index]
+
+    def index_of(self, label: str) -> int:
+        """Index of the action with this label.
+
+        Raises
+        ------
+        KeyError
+            If no action carries the label.
+        """
+        for index, action in enumerate(self._actions):
+            if action.label == label:
+                return index
+        raise KeyError(f"no action labelled {label!r}")
+
+    def labels(self) -> List[str]:
+        """All action labels in order."""
+        return [a.label for a in self._actions]
+
+
+def build_action_space(num_actions: int) -> ActionSpace:
+    """Build an action space of the requested size (Figure 8 sweep).
+
+    Parameters
+    ----------
+    num_actions:
+        Between 2 and ``len(_ACTION_MENU)``; the first ``num_actions``
+        entries of the menu are used.
+    """
+    if not 2 <= num_actions <= len(_ACTION_MENU):
+        raise ValueError(
+            f"num_actions must be in 2..{len(_ACTION_MENU)}, got {num_actions}"
+        )
+    return ActionSpace(_ACTION_MENU[:num_actions])
+
+
+def default_action_space() -> ActionSpace:
+    """The 8-action default space of the paper's chosen design point."""
+    return build_action_space(8)

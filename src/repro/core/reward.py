@@ -1,0 +1,169 @@
+"""Reward function of the learning agent (Eq. 8, Section 5.2).
+
+.. math::
+
+    R(E_i, E_{i+1}) = \\begin{cases}
+        -\\hat{s}_i \\times \\hat{a}_i & (\\hat{s}_i = \\hat{s}_{N_s})
+            \\text{ or } (\\hat{a}_i = \\hat{a}_{N_a}) \\\\
+        f(\\hat{a}_i, \\hat{s}_i) + (P_c - P) & \\text{otherwise}
+    \\end{cases}
+
+with ``f = a K_1 \\cdot \\text{safety}_s + b K_2 \\cdot \\text{safety}_a``
+where the safeties are ``1 - normalised value`` and ``K_1``/``K_2`` are
+Gaussian functions of the normalised stress/aging.  The Gaussian weights
+assign low reward both to thermally unstable *and* to trivially stable
+states, which keeps the agent exploring instead of clustering the
+Q-table (Section 5.2).
+
+The relative importance pair ``(a, b)`` is selected per epoch from the
+observed balance of stress vs aging: cycling-dominant epochs (mpeg-like)
+weight stress, hot epochs (tachyon-like) weight aging.
+
+Sign conventions: the unsafe branch is strictly negative; the penalty
+grows with how deep into the unsafe region the observation sits.  The
+performance term penalises violating the constraint and gives no bonus
+above it, so "rewards are guaranteed if an action leads to a thermal
+safe state while satisfying the performance requirements".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import AgentConfig
+from repro.core.state import EpochObservation, StateSpace
+
+
+@dataclass(frozen=True)
+class RewardBreakdown:
+    """The reward and its components, for logging and tests."""
+
+    total: float
+    unsafe: bool
+    thermal_term: float
+    performance_term: float
+    stress_weight: float
+    aging_weight: float
+
+
+class RewardFunction:
+    """Eq. 8 evaluator.
+
+    Parameters
+    ----------
+    config:
+        Agent hyper-parameters (Gaussian widths, importance pairs,
+        performance weight).
+    states:
+        The state space (to test for the unsafe zone).
+    """
+
+    #: Scale of the unsafe-zone penalty.
+    UNSAFE_PENALTY_SCALE = 2.0
+    #: Floor of the unsafe-zone penalty, so it is always clearly negative.
+    UNSAFE_PENALTY_FLOOR = 0.5
+
+    def __init__(self, config: AgentConfig, states: StateSpace) -> None:
+        self.config = config
+        self.states = states
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+
+    def gaussian_weight(self, value_norm: float) -> float:
+        """The Gaussian learning weight ``K`` of a normalised value."""
+        centre = self.config.gaussian_centre
+        width = self.config.gaussian_width
+        return math.exp(-((value_norm - centre) ** 2) / (2.0 * width * width))
+
+    def importance(self, observation: EpochObservation) -> tuple:
+        """(a, b) importance pair for this epoch's stress/aging balance.
+
+        Stress-dominant epochs (normalised stress exceeds normalised
+        aging) use ``weight_stress_dominant``; otherwise the aging pair.
+        """
+        if observation.stress_norm >= observation.aging_norm:
+            return self.config.weight_stress_dominant
+        return self.config.weight_aging_dominant
+
+    #: Fraction of the thermal term modulated by the Gaussian weights.
+    #: The base (1 - GAUSSIAN_BLEND) keeps the term strictly monotone in
+    #: thermal safety, so a perfectly stable state is never rewarded
+    #: below a marginal one; the Gaussian share flattens the gradient at
+    #: both extremes, which is what keeps the agent exploring instead of
+    #: clustering the Q-table (Section 5.2).
+    GAUSSIAN_BLEND = 0.3
+
+    def thermal_term(self, observation: EpochObservation) -> float:
+        """``f(a_hat, s_hat)`` of Eq. 8 for a safe observation."""
+        a, b = self.importance(observation)
+        k1 = self.gaussian_weight(observation.stress_norm)
+        k2 = self.gaussian_weight(observation.aging_norm)
+        blend = self.GAUSSIAN_BLEND
+        stress_safety = 1.0 - observation.stress_norm
+        aging_safety = 1.0 - observation.aging_norm
+        return a * stress_safety * (1.0 - blend + blend * k1) + b * aging_safety * (
+            1.0 - blend + blend * k2
+        )
+
+    def performance_term(self, performance: float, constraint: float) -> float:
+        """The ``(Pc - P)`` penalty, normalised by the constraint.
+
+        Negative when the constraint is violated, zero otherwise (no
+        bonus for exceeding it).
+        """
+        if constraint <= 0.0:
+            return 0.0
+        shortfall = min(0.0, (performance - constraint) / constraint)
+        return self.config.performance_weight * shortfall
+
+    # ------------------------------------------------------------------
+    # Eq. 8
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        observation: EpochObservation,
+        performance: float,
+        constraint: float,
+    ) -> RewardBreakdown:
+        """Compute the reward of the epoch that just ended.
+
+        Parameters
+        ----------
+        observation:
+            Normalised stress/aging of the epoch.
+        performance:
+            Measured performance ``P`` over the epoch (same units as the
+            constraint, e.g. frames per second).
+        constraint:
+            The application's performance constraint ``Pc``.
+        """
+        a, b = self.importance(observation)
+        if self.states.is_unsafe(observation):
+            penalty = -(
+                self.UNSAFE_PENALTY_SCALE
+                * observation.stress_norm
+                * observation.aging_norm
+                + self.UNSAFE_PENALTY_FLOOR
+            )
+            return RewardBreakdown(
+                total=penalty,
+                unsafe=True,
+                thermal_term=penalty,
+                performance_term=0.0,
+                stress_weight=a,
+                aging_weight=b,
+            )
+        thermal = self.thermal_term(observation)
+        perf = self.performance_term(performance, constraint)
+        return RewardBreakdown(
+            total=thermal + perf,
+            unsafe=False,
+            thermal_term=thermal,
+            performance_term=perf,
+            stress_weight=a,
+            aging_weight=b,
+        )

@@ -1,0 +1,189 @@
+"""State space of the learning agent (Section 5.1).
+
+The environment is ``E = A x S``: the per-epoch *aging* and *stress* of
+the worst core, each discretised into ``Na`` / ``Ns`` disjoint intervals.
+Both quantities are first normalised into [0, 1]:
+
+* **stress** — the Eq. 6 stress accumulated over the decision epoch,
+  divided by the epoch length, relative to a documented reference rate
+  (the rate at which the cycling-MTTF calibration profile accrues
+  stress);
+* **aging** — the mean Arrhenius aging rate of the epoch (1.0 = idle
+  core), mapped linearly so that a rate of ``aging_rate_unsafe`` (the
+  ~70 degC sustained-operation rate) reaches 1.0.
+
+The last interval of each axis is the *unsafe zone* whose visits are
+penalised by the reward function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import ReliabilityConfig
+from repro.reliability.aging import mean_aging_rate
+from repro.reliability.rainflow import count_cycles
+from repro.reliability.stress import thermal_stress
+
+#: Stress rate (per second) that normalises to 1.0: several times the
+#: accrual rate of the calibration reference profile, i.e. sustained
+#: heavy cycling.
+STRESS_RATE_FULL_SCALE = 1.5e-3
+
+#: Aging rate (relative to idle) that normalises to 1.0: sustained
+#: operation in the mid-60s degC on the default platform.
+AGING_RATE_FULL_SCALE = 14.0
+
+
+@dataclass(frozen=True)
+class EpochObservation:
+    """Normalised stress/aging observed over one decision epoch.
+
+    Attributes
+    ----------
+    stress_norm:
+        Normalised stress in [0, 1].
+    aging_norm:
+        Normalised aging in [0, 1].
+    raw_stress_rate:
+        Eq. 6 stress per second of epoch (before normalisation).
+    raw_aging_rate:
+        Mean relative aging rate of the epoch (1.0 = idle).
+    """
+
+    stress_norm: float
+    aging_norm: float
+    raw_stress_rate: float
+    raw_aging_rate: float
+
+
+class StateSpace:
+    """Discretisation of (aging, stress) into Q-table states.
+
+    Parameters
+    ----------
+    num_stress_bins:
+        ``Ns`` of Section 5.1.
+    num_aging_bins:
+        ``Na`` of Section 5.1.
+    reliability:
+        Device parameters used to evaluate Eqs. 1 and 6 on the epoch's
+        sensor samples.
+    """
+
+    def __init__(
+        self,
+        num_stress_bins: int,
+        num_aging_bins: int,
+        reliability: ReliabilityConfig,
+    ) -> None:
+        if num_stress_bins < 2 or num_aging_bins < 2:
+            raise ValueError("need at least two bins per axis")
+        self.num_stress_bins = num_stress_bins
+        self.num_aging_bins = num_aging_bins
+        self.reliability = reliability
+
+    @property
+    def num_states(self) -> int:
+        """Total number of discrete states ``Na * Ns``."""
+        return self.num_stress_bins * self.num_aging_bins
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        epoch_samples: Sequence[Sequence[float]],
+        sample_period_s: float,
+        context_samples: Optional[Sequence[Sequence[float]]] = None,
+    ) -> EpochObservation:
+        """Evaluate stress/aging of an epoch of sensor samples.
+
+        Parameters
+        ----------
+        epoch_samples:
+            Per-core sample lists covering one decision epoch (degC).
+        sample_period_s:
+            Temperature sampling interval.
+        context_samples:
+            Optional per-core samples of the *previous* epoch, prepended
+            for the cycle count only.  Thermal cycles caused by an
+            epoch-to-epoch action change span the epoch boundary and
+            would otherwise be invisible to the agent — this is part of
+            the paper's point about measuring cycling over a period
+            rather than from instantaneous samples.
+
+        Returns
+        -------
+        EpochObservation
+            Worst-core normalised stress and aging.  Aging is evaluated
+            on the current epoch only (it reflects the *current*
+            operating point); stress over the contextual window.
+        """
+        worst_stress_rate = 0.0
+        worst_aging_rate = 0.0
+        for core, series in enumerate(epoch_samples):
+            series = list(series)
+            if not series:
+                continue
+            stress_series = series
+            if context_samples is not None and core < len(context_samples):
+                stress_series = list(context_samples[core]) + series
+            duration = len(stress_series) * sample_period_s
+            stress = thermal_stress(count_cycles(stress_series), self.reliability)
+            worst_stress_rate = max(worst_stress_rate, stress / duration)
+            # Aging is judged on the trailing half of the epoch: the
+            # epoch that follows an actuation change starts at the old
+            # operating point's temperature, and averaging over the whole
+            # ramp would under-report the temperature the action actually
+            # drives the core to.
+            trailing = series[len(series) // 2 :]
+            worst_aging_rate = max(
+                worst_aging_rate, mean_aging_rate(trailing, self.reliability)
+            )
+        return EpochObservation(
+            stress_norm=min(1.0, worst_stress_rate / STRESS_RATE_FULL_SCALE),
+            aging_norm=min(
+                1.0, max(0.0, (worst_aging_rate - 1.0) / (AGING_RATE_FULL_SCALE - 1.0))
+            ),
+            raw_stress_rate=worst_stress_rate,
+            raw_aging_rate=worst_aging_rate,
+        )
+
+    # ------------------------------------------------------------------
+    # Discretisation
+    # ------------------------------------------------------------------
+
+    def stress_bin(self, stress_norm: float) -> int:
+        """Bin index of a normalised stress value."""
+        return min(self.num_stress_bins - 1, int(stress_norm * self.num_stress_bins))
+
+    def aging_bin(self, aging_norm: float) -> int:
+        """Bin index of a normalised aging value."""
+        return min(self.num_aging_bins - 1, int(aging_norm * self.num_aging_bins))
+
+    def state_of(self, observation: EpochObservation) -> int:
+        """Flat state index of an observation."""
+        s_bin = self.stress_bin(observation.stress_norm)
+        a_bin = self.aging_bin(observation.aging_norm)
+        return a_bin * self.num_stress_bins + s_bin
+
+    def bins_of(self, state: int) -> Tuple[int, int]:
+        """(aging_bin, stress_bin) of a flat state index."""
+        if not 0 <= state < self.num_states:
+            raise ValueError(f"state {state} outside 0..{self.num_states - 1}")
+        return divmod(state, self.num_stress_bins)
+
+    def is_unsafe(self, observation: EpochObservation) -> bool:
+        """Whether the observation falls in an unsafe (last) interval."""
+        return (
+            self.stress_bin(observation.stress_norm) == self.num_stress_bins - 1
+            or self.aging_bin(observation.aging_norm) == self.num_aging_bins - 1
+        )
+
+    def describe(self, state: int) -> str:
+        """Human-readable label of a state (for logs and tests)."""
+        a_bin, s_bin = self.bins_of(state)
+        return f"aging[{a_bin}/{self.num_aging_bins}] stress[{s_bin}/{self.num_stress_bins}]"

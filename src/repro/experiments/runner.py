@@ -1,0 +1,320 @@
+"""Common experiment harness.
+
+``run_workload`` executes one application under one policy with the
+standard train-then-measure protocol and returns a :class:`RunSummary`
+holding every metric any table or figure needs.  ``run_scenario``
+executes an inter-application sequence (Figure 3) where the *switching*
+itself is the phenomenon, so applications run once each and the whole
+scenario is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    AgentConfig,
+    GeQiuConfig,
+    PlatformConfig,
+    ReliabilityConfig,
+    default_agent_config,
+    default_reliability_config,
+)
+from repro.baselines.ge_qiu import GeQiuThermalManager
+from repro.baselines.static_policy import StaticPolicyManager
+from repro.core.actions import ActionSpace
+from repro.core.manager import ProposedThermalManager
+from repro.sched.affinity import AffinityMapping
+from repro.soc.simulator import Simulation, SimulationResult, ThermalManagerBase
+from repro.thermal.profile import ThermalProfile
+from repro.units import ghz
+from repro.workloads.alpbench import make_application
+from repro.workloads.application import Application
+
+#: Policy names accepted by the harness.
+POLICIES: Tuple[str, ...] = (
+    "linux",  # Linux default scheduling + ondemand (the paper's baseline)
+    "powersave",  # Linux + powersave governor
+    "performance",  # Linux + performance governor
+    "userspace@2.4",  # fixed 2.4 GHz (Table 3 column)
+    "userspace@3.4",  # fixed 3.4 GHz (Table 3 column)
+    "ge",  # Ge & Qiu DAC'11 learning DVFS manager
+    "ge_modified",  # Ge & Qiu + explicit app-switch re-learning
+    "proposed",  # the paper's approach
+)
+
+#: Warm-up excluded from every measurement window (cold-start ramp).
+WARMUP_SKIP_S = 60.0
+
+
+@dataclass
+class RunSummary:
+    """Every metric the experiments report for one (workload, policy)."""
+
+    app: str
+    dataset: str
+    policy: str
+    average_temp_c: float
+    peak_temp_c: float
+    aging_mttf_years: float
+    cycling_mttf_years: float
+    stress: float
+    num_cycles: float
+    execution_time_s: float
+    throughput: float
+    dynamic_energy_j: float
+    static_energy_j: float
+    average_dynamic_power_w: float
+    cache_misses: float
+    page_faults: float
+    migrations: int
+    completed: bool
+    manager_stats: Dict[str, float] = field(default_factory=dict)
+    #: The measurement-window thermal profile, for trace figures.
+    profile: Optional[ThermalProfile] = None
+
+    @property
+    def total_energy_j(self) -> float:
+        """Dynamic plus static energy of the measurement window."""
+        return self.dynamic_energy_j + self.static_energy_j
+
+
+def build_manager(
+    policy: str,
+    agent_config: Optional[AgentConfig] = None,
+    reliability: Optional[ReliabilityConfig] = None,
+    action_space: Optional[ActionSpace] = None,
+    ge_config: Optional[GeQiuConfig] = None,
+    mapping: Optional[AffinityMapping] = None,
+) -> Tuple[Optional[ThermalManagerBase], str, Optional[float]]:
+    """Materialise a policy name.
+
+    Returns
+    -------
+    (manager, governor_name, userspace_frequency_hz)
+        The manager (or None) plus the simulation's initial governor.
+    """
+    agent_config = agent_config if agent_config is not None else default_agent_config()
+    reliability = (
+        reliability if reliability is not None else default_reliability_config()
+    )
+    if policy == "linux":
+        return (
+            StaticPolicyManager(mapping=mapping) if mapping is not None else None,
+            "ondemand",
+            None,
+        )
+    if policy == "powersave":
+        return StaticPolicyManager("powersave", mapping=mapping), "powersave", None
+    if policy == "performance":
+        return StaticPolicyManager("performance", mapping=mapping), "performance", None
+    if policy.startswith("userspace@"):
+        freq = ghz(float(policy.split("@")[1]))
+        return (
+            StaticPolicyManager("userspace", freq, mapping=mapping),
+            "userspace",
+            freq,
+        )
+    if policy == "ge":
+        return GeQiuThermalManager(ge_config), "ondemand", None
+    if policy == "ge_modified":
+        return (
+            GeQiuThermalManager(ge_config, react_to_app_switch=True),
+            "ondemand",
+            None,
+        )
+    if policy == "proposed":
+        return (
+            ProposedThermalManager(agent_config, reliability, action_space),
+            "ondemand",
+            None,
+        )
+    raise KeyError(f"unknown policy {policy!r}; known: {POLICIES}")
+
+
+def _summarise(
+    result: SimulationResult,
+    window: ThermalProfile,
+    records: Sequence,
+    app: str,
+    dataset: str,
+    policy: str,
+    reliability: ReliabilityConfig,
+) -> RunSummary:
+    """Collapse a simulation result into a RunSummary."""
+    report = window.worst_case_report(reliability)
+    execution = sum(r.execution_time_s for r in records)
+    iterations = sum(r.completed_iterations for r in records)
+    return RunSummary(
+        app=app,
+        dataset=dataset,
+        policy=policy,
+        average_temp_c=report["average_temp_c"],
+        peak_temp_c=report["peak_temp_c"],
+        aging_mttf_years=report["aging_mttf_years"],
+        cycling_mttf_years=report["cycling_mttf_years"],
+        stress=report["stress"],
+        num_cycles=report["num_cycles"],
+        execution_time_s=execution,
+        throughput=iterations / execution if execution > 0.0 else 0.0,
+        dynamic_energy_j=sum(r.dynamic_energy_j for r in records),
+        static_energy_j=sum(r.static_energy_j for r in records),
+        average_dynamic_power_w=(
+            sum(r.dynamic_energy_j for r in records) / execution
+            if execution > 0.0
+            else 0.0
+        ),
+        cache_misses=result.perf.cache_misses,
+        page_faults=result.perf.page_faults,
+        migrations=result.perf.migrations,
+        completed=all(r.completed for r in records),
+        manager_stats=dict(result.manager_stats),
+        profile=window,
+    )
+
+
+def run_workload(
+    app: str,
+    dataset: Optional[str] = None,
+    policy: str = "linux",
+    seed: int = 1,
+    train_passes: int = 1,
+    agent_config: Optional[AgentConfig] = None,
+    reliability: Optional[ReliabilityConfig] = None,
+    platform: Optional[PlatformConfig] = None,
+    action_space: Optional[ActionSpace] = None,
+    ge_config: Optional[GeQiuConfig] = None,
+    mapping: Optional[AffinityMapping] = None,
+    iteration_scale: float = 1.0,
+    max_time_s: float = 20000.0,
+) -> RunSummary:
+    """Run one application under one policy (train + measure).
+
+    Parameters
+    ----------
+    app:
+        Application name (``tachyon``, ``mpeg_dec``, ...).
+    dataset:
+        Dataset label; the application's first dataset when omitted.
+    policy:
+        One of :data:`POLICIES`.
+    seed:
+        Seed of the *measurement* pass; training passes use derived
+        seeds so the measured input is identical across policies.
+    train_passes:
+        Number of identical training executions preceding the measured
+        one (0 disables training; adaptive policies then measure their
+        learning transient, as the Figure 4 exploration trace does).
+    agent_config / reliability / platform / action_space / ge_config:
+        Configuration overrides.
+    mapping:
+        Fixed affinity mapping for the static policies (Figure 1's
+        "user thread assignment" arm).
+    iteration_scale:
+        Scale on the application's iteration count (shorter sweeps).
+    max_time_s:
+        Safety limit for the whole simulation.
+    """
+    reliability = (
+        reliability if reliability is not None else default_reliability_config()
+    )
+    applications: List[Application] = []
+    for index in range(train_passes):
+        applications.append(
+            _make_app(app, dataset, seed=seed * 17 + 101 + index, scale=iteration_scale)
+        )
+    applications.append(_make_app(app, dataset, seed=seed, scale=iteration_scale))
+
+    manager, governor, userspace_hz = build_manager(
+        policy, agent_config, reliability, action_space, ge_config, mapping
+    )
+    sim = Simulation(
+        applications,
+        platform=platform,
+        governor=governor,
+        userspace_frequency_hz=userspace_hz,
+        manager=manager,
+        seed=seed,
+        max_time_s=max_time_s,
+    )
+    result = sim.run()
+    measured = result.app_records[train_passes:]
+    if measured:
+        start = measured[0].start_s + WARMUP_SKIP_S * (1 if train_passes == 0 else 0)
+        window = result.profile.window(start, measured[-1].end_s)
+    else:  # the run timed out before the measurement pass
+        window = result.profile
+    return _summarise(
+        result,
+        window,
+        measured,
+        app,
+        dataset if dataset is not None else applications[-1].spec.dataset,
+        policy,
+        reliability,
+    )
+
+
+def _make_app(
+    app: str, dataset: Optional[str], seed: int, scale: float
+) -> Application:
+    """Application instance with an optional iteration-count scale."""
+    application = make_application(app, dataset, seed=seed)
+    if scale != 1.0:
+        spec = application.spec
+        scaled = max(10, int(spec.iterations * scale))
+        application = Application(
+            replace(spec, iterations=scaled), metric=application.metric, seed=seed
+        )
+    return application
+
+
+def run_scenario(
+    apps: Sequence[str],
+    policy: str,
+    seed: int = 1,
+    agent_config: Optional[AgentConfig] = None,
+    reliability: Optional[ReliabilityConfig] = None,
+    platform: Optional[PlatformConfig] = None,
+    action_space: Optional[ActionSpace] = None,
+    ge_config: Optional[GeQiuConfig] = None,
+    iteration_scale: float = 1.0,
+    max_time_s: float = 30000.0,
+) -> RunSummary:
+    """Run an inter-application scenario (Figure 3).
+
+    Applications execute once each, back-to-back; the measurement
+    window covers the whole scenario (minus the cold-start warm-up)
+    because the application *switches* are the phenomenon under test.
+    """
+    reliability = (
+        reliability if reliability is not None else default_reliability_config()
+    )
+    applications = [
+        _make_app(app, None, seed=seed + 7 * index + 1, scale=iteration_scale)
+        for index, app in enumerate(apps)
+    ]
+    manager, governor, userspace_hz = build_manager(
+        policy, agent_config, reliability, action_space, ge_config
+    )
+    sim = Simulation(
+        applications,
+        platform=platform,
+        governor=governor,
+        userspace_frequency_hz=userspace_hz,
+        manager=manager,
+        seed=seed,
+        max_time_s=max_time_s,
+    )
+    result = sim.run()
+    window = result.profile.window(WARMUP_SKIP_S, result.total_time_s)
+    return _summarise(
+        result,
+        window,
+        result.app_records,
+        "-".join(apps),
+        "scenario",
+        policy,
+        reliability,
+    )

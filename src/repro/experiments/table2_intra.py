@@ -1,0 +1,110 @@
+"""Table 2: intra-application results.
+
+For each of {tachyon, mpeg_dec, mpeg_enc} x three datasets, run Linux
+``ondemand``, the Ge & Qiu baseline and the proposed approach, and report
+average temperature, peak temperature, thermal-cycling MTTF and
+average-temperature (aging) MTTF — the exact columns of the paper's
+Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import format_table
+from repro.experiments.runner import RunSummary, run_workload
+from repro.workloads.datasets import dataset_names_for
+
+#: The applications and datasets of Table 2.
+TABLE2_WORKLOADS: Tuple[str, ...] = ("tachyon", "mpeg_dec", "mpeg_enc")
+
+#: The policies of Table 2, in column order.
+TABLE2_POLICIES: Tuple[str, ...] = ("linux", "ge", "proposed")
+
+
+@dataclass
+class Table2Row:
+    """One (application, dataset) row across all three policies."""
+
+    app: str
+    dataset: str
+    summaries: Dict[str, RunSummary]
+
+    def cells(self) -> List[object]:
+        """Flatten to the column layout of the paper's Table 2."""
+        row: List[object] = [self.app, self.dataset]
+        for metric in (
+            "average_temp_c",
+            "peak_temp_c",
+            "cycling_mttf_years",
+            "aging_mttf_years",
+        ):
+            for policy in TABLE2_POLICIES:
+                row.append(getattr(self.summaries[policy], metric))
+        return row
+
+
+@dataclass
+class Table2Result:
+    """All rows plus the aggregate improvement factors."""
+
+    rows: List[Table2Row] = field(default_factory=list)
+
+    def improvement(self, metric: str, over: str) -> float:
+        """Mean ratio proposed/baseline across all rows for a metric."""
+        ratios = [
+            getattr(r.summaries["proposed"], metric)
+            / getattr(r.summaries[over], metric)
+            for r in self.rows
+        ]
+        return sum(ratios) / len(ratios)
+
+    def format_table(self) -> str:
+        """Render the full table."""
+        headers = ["app", "data"]
+        for metric in ("avgT", "peakT", "tcMTTF", "ageMTTF"):
+            for policy in TABLE2_POLICIES:
+                headers.append(f"{metric}:{policy[:4]}")
+        return format_table(
+            headers,
+            [row.cells() for row in self.rows],
+            title="Table 2 — intra-application thermal/MTTF comparison",
+        )
+
+
+def run_table2(
+    iteration_scale: float = 1.0,
+    seed: int = 1,
+    workloads: Tuple[str, ...] = TABLE2_WORKLOADS,
+) -> Table2Result:
+    """Run the full Table 2 grid.
+
+    Parameters
+    ----------
+    iteration_scale:
+        Scale on application lengths (tests use < 1 for speed).
+    seed:
+        Measurement seed shared by all policies.
+    workloads:
+        Applications to include (the paper's three by default).
+    """
+    result = Table2Result()
+    for app in workloads:
+        for dataset in dataset_names_for(app):
+            summaries = {
+                policy: run_workload(
+                    app,
+                    dataset,
+                    policy,
+                    seed=seed,
+                    iteration_scale=iteration_scale,
+                )
+                for policy in TABLE2_POLICIES
+            }
+            result.rows.append(Table2Row(app, dataset, summaries))
+    return result
+
+
+if __name__ == "__main__":
+    print(run_table2().format_table())

@@ -1,0 +1,85 @@
+"""Table 3: execution-time comparison.
+
+Execution time (seconds) of the three Table 2 applications under Linux's
+``ondemand`` and ``powersave`` governors, two fixed userspace
+frequencies (2.4 GHz and 3.4 GHz), the Ge & Qiu baseline and the
+proposed approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import format_table
+from repro.experiments.runner import RunSummary, run_workload
+
+#: The policies of Table 3, in column order.
+TABLE3_POLICIES: Tuple[str, ...] = (
+    "linux",
+    "powersave",
+    "userspace@2.4",
+    "userspace@3.4",
+    "ge",
+    "proposed",
+)
+
+#: The applications of Table 3 (first dataset of each).
+TABLE3_APPS: Tuple[str, ...] = ("tachyon", "mpeg_dec", "mpeg_enc")
+
+
+@dataclass
+class Table3Row:
+    """Execution time of one application across policies."""
+
+    app: str
+    dataset: str
+    summaries: Dict[str, RunSummary]
+
+    def execution_time(self, policy: str) -> float:
+        """Execution time in seconds for one policy."""
+        return self.summaries[policy].execution_time_s
+
+
+@dataclass
+class Table3Result:
+    """All rows of the table."""
+
+    rows: List[Table3Row] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render the table."""
+        headers = ["app"] + list(TABLE3_POLICIES)
+        rows = [
+            [r.app] + [r.execution_time(p) for p in TABLE3_POLICIES]
+            for r in self.rows
+        ]
+        return format_table(
+            headers,
+            rows,
+            title="Table 3 — execution time (s) per policy",
+            float_format="{:.0f}",
+        )
+
+
+def run_table3(
+    iteration_scale: float = 1.0,
+    seed: int = 1,
+    apps: Tuple[str, ...] = TABLE3_APPS,
+) -> Table3Result:
+    """Run the execution-time grid."""
+    result = Table3Result()
+    for app in apps:
+        summaries = {
+            policy: run_workload(
+                app, None, policy, seed=seed, iteration_scale=iteration_scale
+            )
+            for policy in TABLE3_POLICIES
+        }
+        dataset = next(iter(summaries.values())).dataset
+        result.rows.append(Table3Row(app, dataset, summaries))
+    return result
+
+
+if __name__ == "__main__":
+    print(run_table3().format_table())

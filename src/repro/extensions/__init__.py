@@ -1,0 +1,25 @@
+"""Extensions beyond the paper's evaluation.
+
+The paper closes with: "In future, the approach can be extended to
+consider concurrent applications and heterogeneous cores."  This package
+implements both:
+
+* :mod:`repro.extensions.concurrent` — run several applications
+  *simultaneously* (not back-to-back) under one thermal manager, by
+  composing their thread pools into a single schedulable workload;
+* :mod:`repro.extensions.heterogeneous` — a big.LITTLE-style platform
+  with per-core performance/power scaling, exercising the same manager
+  on an asymmetric die.
+"""
+
+from repro.extensions.concurrent import CompositeApplication
+from repro.extensions.heterogeneous import (
+    HeterogeneousChip,
+    heterogeneous_platform,
+)
+
+__all__ = [
+    "CompositeApplication",
+    "HeterogeneousChip",
+    "heterogeneous_platform",
+]

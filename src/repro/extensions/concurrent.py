@@ -1,0 +1,126 @@
+"""Concurrent applications: several programs sharing the chip at once.
+
+The paper's evaluation switches applications back-to-back; its stated
+future work is *concurrent* applications.  A
+:class:`CompositeApplication` bundles several
+:class:`~repro.workloads.application.Application` instances into one
+schedulable workload: their thread pools are merged (with globally
+renumbered thread ids, so affinity mappings address every thread), each
+constituent keeps its own barrier/queue coordination, and performance is
+reported as the sum of constraint-normalised throughputs — 1.0 per
+constituent means "every co-runner meets its constraint".
+
+A composite behaves exactly like a plain application from the
+simulator's and the thermal manager's point of view, so the proposed
+controller (and every baseline) runs unchanged on multi-programmed
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.workloads.application import Application, PerformanceMetric
+from repro.workloads.thread_model import SimThread, WorkloadSpec
+
+
+class CompositeApplication:
+    """Several applications executing concurrently as one workload.
+
+    Parameters
+    ----------
+    applications:
+        The co-running applications.  Their threads are renumbered into
+        one global id space (in constructor order), which is the id
+        space affinity mappings see.
+    """
+
+    def __init__(self, applications: Sequence[Application]) -> None:
+        if not applications:
+            raise ValueError("need at least one application")
+        self.applications = list(applications)
+        self.metric = PerformanceMetric.THROUGHPUT
+        next_id = 0
+        self._threads: List[SimThread] = []
+        for app in self.applications:
+            for thread in app.threads:
+                thread.thread_id = next_id
+                next_id += 1
+                self._threads.append(thread)
+        total_threads = next_id
+        # A synthetic spec describing the composite to the manager: the
+        # performance constraint is 1.0 per constituent in normalised
+        # units (see throughput()).
+        names = "+".join(app.spec.name for app in self.applications)
+        datasets = "+".join(app.spec.dataset for app in self.applications)
+        base = self.applications[0].spec
+        self.spec: WorkloadSpec = replace(
+            base,
+            name=names,
+            dataset=datasets,
+            num_threads=total_threads,
+            iterations=sum(app.spec.iterations for app in self.applications),
+            performance_constraint=float(len(self.applications)),
+        )
+
+    # ------------------------------------------------------------------
+    # Application interface (what Simulation and managers consume)
+    # ------------------------------------------------------------------
+
+    @property
+    def threads(self) -> List[SimThread]:
+        """All threads of all constituents (globally renumbered)."""
+        return self._threads
+
+    @property
+    def done(self) -> bool:
+        """True once every constituent finished."""
+        return all(app.done for app in self.applications)
+
+    @property
+    def completed_iterations(self) -> int:
+        """Total iterations completed across constituents."""
+        return sum(app.completed_iterations for app in self.applications)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Simulated time since the composite started."""
+        return self.applications[0].elapsed_s
+
+    def tick(self, dt: float) -> None:
+        """Advance every constituent's coordination state."""
+        for app in self.applications:
+            app.tick(dt)
+
+    def throughput(self, window_s: Optional[float] = None) -> float:
+        """Sum of constraint-normalised throughputs.
+
+        Each constituent contributes ``P_i / Pc_i``; the composite's
+        constraint is the number of constituents, so the manager's
+        reward sees "all co-runners satisfied" exactly at the
+        constraint, just as for a single application.
+        """
+        total = 0.0
+        for app in self.applications:
+            constraint = app.spec.performance_constraint
+            if constraint > 0.0:
+                total += app.throughput(window_s) / constraint
+        return total
+
+    def performance_satisfied(self, window_s: Optional[float] = None) -> bool:
+        """Whether the aggregate meets the composite constraint."""
+        return self.throughput(window_s) >= self.spec.performance_constraint
+
+    def progress_fraction(self) -> float:
+        """Mean progress across constituents, in [0, 1]."""
+        return sum(app.progress_fraction() for app in self.applications) / len(
+            self.applications
+        )
+
+    def per_app_records(self) -> List[Tuple[str, int, bool]]:
+        """(name, completed iterations, done) per constituent."""
+        return [
+            (app.spec.name, app.completed_iterations, app.done)
+            for app in self.applications
+        ]

@@ -1,0 +1,139 @@
+"""Heterogeneous (big.LITTLE-style) cores.
+
+The paper's second future-work item.  A heterogeneous die has per-core
+*speed factors*: a big core retires proportionally more cycles per clock
+and switches proportionally more capacitance; a LITTLE core is slower
+but cheaper.  The extension is deliberately minimal:
+
+* :func:`heterogeneous_platform` tags a platform with per-core factors;
+* :class:`HeterogeneousChip` scales each core's dynamic power by its
+  factor;
+* :func:`make_heterogeneous_simulation` builds a Simulation whose
+  scheduler grants ``factor x frequency`` cycles on each core.
+
+The thermal manager runs unchanged — its affinity actions now
+additionally decide *which kind* of core a thread heats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+from repro.config import PlatformConfig
+from repro.power.dynamic import dynamic_power_w
+from repro.soc.chip import Chip
+from repro.soc.simulator import Simulation, ThermalManagerBase
+from repro.workloads.application import Application
+
+#: Default big.LITTLE layout for the quad-core: two big, two LITTLE.
+DEFAULT_SPEED_FACTORS: Tuple[float, ...] = (1.0, 1.0, 0.6, 0.6)
+
+
+def heterogeneous_platform(
+    speed_factors: Sequence[float] = DEFAULT_SPEED_FACTORS,
+    base: Optional[PlatformConfig] = None,
+) -> Tuple[PlatformConfig, Tuple[float, ...]]:
+    """A platform plus its per-core speed factors.
+
+    Parameters
+    ----------
+    speed_factors:
+        Per-core instruction-throughput multipliers (1.0 = the paper's
+        homogeneous core).
+    base:
+        Platform to derive from (the default quad-core when omitted).
+
+    Returns
+    -------
+    (platform, factors)
+        The platform is unchanged structurally; the factors are applied
+        by :class:`HeterogeneousChip` and the simulation factory.
+    """
+    platform = base if base is not None else PlatformConfig()
+    factors = tuple(float(f) for f in speed_factors)
+    if len(factors) != platform.num_cores:
+        raise ValueError(
+            f"need {platform.num_cores} speed factors, got {len(factors)}"
+        )
+    if any(f <= 0.0 for f in factors):
+        raise ValueError("speed factors must be positive")
+    return platform, factors
+
+
+class HeterogeneousChip(Chip):
+    """A chip whose cores switch capacitance proportional to their speed.
+
+    Parameters
+    ----------
+    config:
+        Platform configuration.
+    speed_factors:
+        Per-core throughput multipliers; dynamic power scales with the
+        same factor (a big core does more work *and* burns more).
+    seed:
+        Sensor-noise seed.
+    """
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        speed_factors: Sequence[float],
+        seed: int = 0,
+    ) -> None:
+        super().__init__(config, seed=seed)
+        if len(speed_factors) != config.num_cores:
+            raise ValueError(f"need {config.num_cores} speed factors")
+        self.speed_factors = tuple(float(f) for f in speed_factors)
+
+    def step(self, activities, frequencies_hz, dt):
+        """Advance one tick with per-core capacitance scaling."""
+        scaled = [
+            min(1.0, activities[core]) for core in range(self.num_cores)
+        ]
+        # Reuse the base implementation but scale the dynamic component
+        # by the speed factor via an adjusted activity (power is linear
+        # in activity, so this is exact).
+        adjusted = [
+            min(1.0, scaled[core] * self.speed_factors[core])
+            for core in range(self.num_cores)
+        ]
+        return super().step(adjusted, frequencies_hz, dt)
+
+
+def make_heterogeneous_simulation(
+    applications: Sequence[Application],
+    speed_factors: Sequence[float] = DEFAULT_SPEED_FACTORS,
+    platform: Optional[PlatformConfig] = None,
+    manager: Optional[ThermalManagerBase] = None,
+    governor: str = "ondemand",
+    seed: int = 0,
+    max_time_s: Optional[float] = None,
+) -> Simulation:
+    """Build a Simulation running on an asymmetric die.
+
+    The scheduler's execution path is wrapped so each core grants
+    ``speed_factor x frequency x share`` cycles per tick, and the chip
+    is swapped for a :class:`HeterogeneousChip`.
+    """
+    platform, factors = heterogeneous_platform(speed_factors, platform)
+    sim = Simulation(
+        applications,
+        platform=platform,
+        governor=governor,
+        manager=manager,
+        seed=seed,
+        max_time_s=max_time_s,
+    )
+    sim.chip = HeterogeneousChip(platform, factors, seed=seed)
+    if sim.platform.thermal.ambient_c:  # keep the warm-start behaviour
+        sim.chip.warm_start_idle()
+
+    original_tick = sim.scheduler.tick
+
+    def scaled_tick(frequencies_hz, dt):
+        scaled = [f * factor for f, factor in zip(frequencies_hz, factors)]
+        return original_tick(scaled, dt)
+
+    sim.scheduler.tick = scaled_tick  # type: ignore[method-assign]
+    return sim

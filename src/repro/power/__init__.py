@@ -1,0 +1,21 @@
+"""Per-core power model (dynamic + leakage) and the energy meter.
+
+The paper measures power with ``likwid-powermeter`` (RAPL); here the
+chip's power is produced by the model that drives the thermal network:
+
+* :mod:`repro.power.opp` — the DVFS ladder of voltage/frequency pairs;
+* :mod:`repro.power.dynamic` — activity-based switching power
+  ``a * C_eff * V^2 * f``;
+* :mod:`repro.power.leakage` — exponential temperature-dependent static
+  power (the channel through which cooling saves leakage energy, the
+  15%/11% numbers at the end of Section 6.5);
+* :mod:`repro.power.energy` — the accumulating meter the experiments
+  read, playing the role of likwid-powermeter.
+"""
+
+from repro.power.dynamic import dynamic_power_w
+from repro.power.energy import EnergyMeter
+from repro.power.leakage import leakage_power_w
+from repro.power.opp import OppLadder
+
+__all__ = ["EnergyMeter", "OppLadder", "dynamic_power_w", "leakage_power_w"]

@@ -1,0 +1,44 @@
+"""Dynamic (switching) power of a core.
+
+The canonical CMOS model: ``P_dyn = a * C_eff * V^2 * f`` with activity
+factor ``a`` in [0, 1].  With the default configuration a fully active
+core at the 3.4 GHz / 1.10 V top operating point dissipates ~7 W, so four
+saturated cores plus uncore and leakage land near the ~30 W package power
+of Figure 9's hottest bars.
+"""
+
+from __future__ import annotations
+
+from repro.config import PowerConfig
+
+
+def dynamic_power_w(
+    activity: float,
+    voltage_v: float,
+    frequency_hz: float,
+    config: PowerConfig,
+) -> float:
+    """Dynamic power of one core in watts.
+
+    Parameters
+    ----------
+    activity:
+        Switching-activity factor in [0, 1]; 0 for a halted core.
+    voltage_v:
+        Supply voltage in volts.
+    frequency_hz:
+        Clock frequency in hertz.
+    config:
+        Power-model constants.
+
+    Raises
+    ------
+    ValueError
+        If the activity is outside [0, 1] or voltage/frequency are
+        non-positive.
+    """
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError(f"activity {activity} outside [0, 1]")
+    if voltage_v <= 0.0 or frequency_hz <= 0.0:
+        raise ValueError("voltage and frequency must be positive")
+    return activity * config.c_eff * voltage_v * voltage_v * frequency_hz

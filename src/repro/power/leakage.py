@@ -1,0 +1,38 @@
+"""Static (leakage) power of a core.
+
+Leakage grows exponentially with temperature and roughly linearly with
+supply voltage over the small DVFS range; we use the compact form
+
+.. math::
+
+    P_{leak} = k_{leak} \\; V \\; e^{t_{leak} \\, T}
+
+(``T`` in degC), the same family as the model of Ukhov et al. (paper
+ref. [17]) which the authors use to estimate their 11-15% leakage-energy
+savings.  The positive feedback (hotter -> leakier -> hotter) is captured
+because the simulator evaluates leakage at the current RC-model
+temperature every tick.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import PowerConfig
+
+
+def leakage_power_w(temp_c: float, voltage_v: float, config: PowerConfig) -> float:
+    """Leakage power of one core in watts.
+
+    Parameters
+    ----------
+    temp_c:
+        Core temperature in degrees Celsius.
+    voltage_v:
+        Supply voltage in volts.
+    config:
+        Power-model constants.
+    """
+    if voltage_v <= 0.0:
+        raise ValueError("voltage must be positive")
+    return config.k_leak * voltage_v * math.exp(config.t_leak * temp_c)

@@ -1,0 +1,94 @@
+"""Operating-point (DVFS) ladder helpers.
+
+Wraps the tuple of :class:`repro.config.OperatingPoint` with the lookups
+the governors and controllers need: nearest point, neighbours for
+step-up/step-down, and frequency <-> voltage mapping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.config import OperatingPoint
+
+
+class OppLadder:
+    """An ordered DVFS ladder.
+
+    Parameters
+    ----------
+    points:
+        Operating points; stored sorted by ascending frequency.
+    """
+
+    def __init__(self, points: Sequence[OperatingPoint]) -> None:
+        if not points:
+            raise ValueError("need at least one operating point")
+        self._points: Tuple[OperatingPoint, ...] = tuple(
+            sorted(points, key=lambda p: p.frequency_hz)
+        )
+        frequencies = [p.frequency_hz for p in self._points]
+        if len(set(frequencies)) != len(frequencies):
+            raise ValueError("duplicate frequencies in the OPP table")
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    @property
+    def points(self) -> Tuple[OperatingPoint, ...]:
+        """All operating points, ascending by frequency."""
+        return self._points
+
+    def frequencies(self) -> List[float]:
+        """All frequencies (Hz), ascending."""
+        return [p.frequency_hz for p in self._points]
+
+    @property
+    def min_point(self) -> OperatingPoint:
+        """The lowest operating point."""
+        return self._points[0]
+
+    @property
+    def max_point(self) -> OperatingPoint:
+        """The highest operating point."""
+        return self._points[-1]
+
+    def index_of(self, frequency_hz: float) -> int:
+        """Index of the point with exactly this frequency.
+
+        Raises
+        ------
+        KeyError
+            If the frequency is not on the ladder.
+        """
+        for index, point in enumerate(self._points):
+            if abs(point.frequency_hz - frequency_hz) < 1.0:
+                return index
+        raise KeyError(f"{frequency_hz} Hz is not an operating point")
+
+    def at(self, index: int) -> OperatingPoint:
+        """The point at a ladder index (clamped to the valid range)."""
+        clamped = max(0, min(len(self._points) - 1, index))
+        return self._points[clamped]
+
+    def nearest(self, frequency_hz: float) -> OperatingPoint:
+        """The point whose frequency is closest to ``frequency_hz``."""
+        return min(self._points, key=lambda p: abs(p.frequency_hz - frequency_hz))
+
+    def ceil(self, frequency_hz: float) -> OperatingPoint:
+        """The lowest point with frequency >= ``frequency_hz`` (or max)."""
+        for point in self._points:
+            if point.frequency_hz >= frequency_hz - 1.0:
+                return point
+        return self.max_point
+
+    def voltage_for(self, frequency_hz: float) -> float:
+        """Voltage of the point at exactly this frequency."""
+        return self._points[self.index_of(frequency_hz)].voltage_v
+
+    def step(self, frequency_hz: float, delta: int) -> OperatingPoint:
+        """The point ``delta`` rungs away from ``frequency_hz`` (clamped)."""
+        return self.at(self.index_of(frequency_hz) + delta)

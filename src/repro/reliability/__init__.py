@@ -1,0 +1,50 @@
+"""Lifetime-reliability models of Section 4 of the paper.
+
+This package implements the two wear-out channels the controller
+optimises:
+
+* **aging** (average-temperature driven wear-out such as electromigration
+  and NBTI): Eq. 1 thermal aging, Eq. 2 MTTF under a Weibull lifetime
+  distribution — see :mod:`repro.reliability.aging`;
+* **thermal cycling** (fatigue): Downing-Socie rainflow counting
+  (:mod:`repro.reliability.rainflow`), Coffin-Manson cycles-to-failure
+  (Eq. 3, :mod:`repro.reliability.coffin_manson`), Miner's rule (Eqs. 4-5,
+  :mod:`repro.reliability.miner`) and the thermal-stress summary of Eq. 6
+  (:mod:`repro.reliability.stress`).
+
+:mod:`repro.reliability.mttf` ties both together and calibrates the scale
+parameters so that an unstressed (idle) core has an MTTF of 10 years, as
+stated in the caption of Table 2.
+"""
+
+from repro.reliability.aging import aging_rate, thermal_aging
+from repro.reliability.coffin_manson import cycles_to_failure
+from repro.reliability.miner import effective_cycles_to_failure, miner_mttf_seconds
+from repro.reliability.mttf import (
+    MttfReport,
+    aging_mttf_years,
+    calibrate_atc,
+    cycling_mttf_years,
+    evaluate_profile,
+    sofr_mttf_years,
+)
+from repro.reliability.rainflow import ThermalCycle, count_cycles, extract_reversals
+from repro.reliability.stress import thermal_stress
+
+__all__ = [
+    "MttfReport",
+    "ThermalCycle",
+    "aging_mttf_years",
+    "aging_rate",
+    "calibrate_atc",
+    "count_cycles",
+    "cycles_to_failure",
+    "cycling_mttf_years",
+    "effective_cycles_to_failure",
+    "evaluate_profile",
+    "extract_reversals",
+    "miner_mttf_seconds",
+    "sofr_mttf_years",
+    "thermal_aging",
+    "thermal_stress",
+]

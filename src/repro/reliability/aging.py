@@ -1,0 +1,99 @@
+"""Thermal aging of a core (Eq. 1 of the paper).
+
+The lifetime reliability of a core is ``R(t) = exp(-(t * A)^beta)`` with
+the thermal aging
+
+.. math::
+
+    A = \\sum_i \\frac{\\Delta t_i}{t_p \\, \\alpha(T_i)}
+
+where ``alpha(T)`` is the temperature-dependent fault-density scale (a
+Weibull characteristic life) and ``T_i`` the average temperature in
+interval ``Delta t_i``.  We model ``alpha(T)`` with the Arrhenius form
+used by the wear-out models the paper cites (electromigration / NBTI,
+Srinivasan et al. [15]):
+
+.. math::
+
+    \\alpha(T) = \\alpha_{ref} \\, e^{-\\frac{E_a}{K}
+                 \\left(\\frac{1}{T_{ref}} - \\frac{1}{T}\\right)}
+
+so that the *aging rate* ``r(T) = alpha_ref / alpha(T)`` equals 1 at the
+reference (idle) temperature and grows exponentially with temperature.
+The calibration anchor ``alpha_ref`` is chosen in
+:mod:`repro.reliability.mttf` so an idle core has a 10-year MTTF.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.config import ReliabilityConfig
+from repro.units import BOLTZMANN_EV, celsius_to_kelvin
+
+
+def aging_rate(temp_c: float, config: ReliabilityConfig) -> float:
+    """Relative aging rate ``r(T)`` at a temperature.
+
+    ``r`` is 1.0 at ``config.reference_temp_c`` and grows with the
+    Arrhenius law; e.g. with the default 0.7 eV activation energy the
+    rate roughly doubles every 8-10 K.
+
+    Parameters
+    ----------
+    temp_c:
+        Core temperature in degrees Celsius.
+    config:
+        Device parameters (activation energy, reference temperature).
+    """
+    t_ref_k = celsius_to_kelvin(config.reference_temp_c)
+    t_k = celsius_to_kelvin(temp_c)
+    exponent = (config.aging_activation_energy_ev / BOLTZMANN_EV) * (
+        1.0 / t_ref_k - 1.0 / t_k
+    )
+    return math.exp(exponent)
+
+
+def mean_aging_rate(series_c: Sequence[float], config: ReliabilityConfig) -> float:
+    """Time-averaged aging rate of a temperature profile.
+
+    Equivalent to evaluating Eq. 1 with uniform ``Delta t_i`` and
+    normalising by the calibration anchor; the exponential weighting
+    means hot excursions dominate, exactly as in the paper's model.
+
+    Returns
+    -------
+    float
+        The mean of ``r(T_i)`` over the samples; 1.0 for a profile pinned
+        at the reference temperature.  Returns 1.0 for an empty profile
+        (an unobserved core ages at the idle rate).
+    """
+    if not len(series_c):
+        return 1.0
+    return sum(aging_rate(t, config) for t in series_c) / len(series_c)
+
+
+def thermal_aging(
+    series_c: Sequence[float],
+    config: ReliabilityConfig,
+    alpha_ref_seconds: float,
+) -> float:
+    """Thermal aging ``A`` of Eq. 1 for a uniformly sampled profile.
+
+    Parameters
+    ----------
+    series_c:
+        Temperature samples in degrees Celsius (uniform spacing).
+    config:
+        Device parameters.
+    alpha_ref_seconds:
+        Characteristic life (seconds) at the reference temperature; the
+        calibration anchor computed by :mod:`repro.reliability.mttf`.
+
+    Returns
+    -------
+    float
+        ``A`` in 1/seconds; the MTTF follows from Eq. 2.
+    """
+    return mean_aging_rate(series_c, config) / alpha_ref_seconds

@@ -1,0 +1,59 @@
+"""Coffin-Manson cycles-to-failure model (Eq. 3 of the paper).
+
+For the ``i``-th rainflow-counted thermal cycle the number of identical
+cycles a core would survive is
+
+.. math::
+
+    N_{TC}(i) = A_{TC} \\, (\\delta T_i - T_{Th})^{-b}
+                \\; e^{E_a / (K\\, T_{max}(i))}
+
+with empirical scale ``A_TC``, amplitude ``deltaT_i``, elastic threshold
+``T_Th``, Coffin-Manson exponent ``b``, activation energy ``E_a`` and the
+cycle's maximum temperature ``T_max(i)`` in kelvin.  ``N_TC`` is the
+reciprocal of the per-cycle stress of Eq. 6 scaled by ``A_TC``, which is
+why the paper collapses Eqs. 3-5 into ``MTTF = A_TC * sum(t_i) / Stress``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import ReliabilityConfig
+from repro.reliability.rainflow import ThermalCycle
+from repro.units import BOLTZMANN_EV, celsius_to_kelvin
+
+
+def cycles_to_failure(cycle: ThermalCycle, config: ReliabilityConfig) -> float:
+    """Number of cycles to failure for one thermal cycle (Eq. 3).
+
+    Parameters
+    ----------
+    cycle:
+        A rainflow-counted cycle.
+    config:
+        Device parameters; ``config.cycling_scale_atc`` is ``A_TC``.
+
+    Returns
+    -------
+    float
+        ``N_TC(i)``; ``math.inf`` for cycles inside the elastic region
+        (they never cause fatigue failure).
+    """
+    # Imported lazily: mttf hosts the ATC auto-calibration and does not
+    # import this module, so there is no cycle — but keeping the import
+    # local also keeps the package import order trivial.
+    from repro.reliability.mttf import resolved_atc
+
+    effective_amplitude = cycle.amplitude_k - config.elastic_threshold_k
+    if effective_amplitude <= 0.0:
+        return math.inf
+    t_max_k = celsius_to_kelvin(cycle.max_c)
+    arrhenius = math.exp(
+        config.cycling_activation_energy_ev / (BOLTZMANN_EV * t_max_k)
+    )
+    return (
+        resolved_atc(config)
+        * effective_amplitude ** (-config.coffin_manson_exponent)
+        * arrhenius
+    )

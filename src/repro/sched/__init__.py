@@ -1,0 +1,45 @@
+"""Operating-system layer: scheduling, affinity, governors, counters.
+
+The paper's controller actuates through two Linux mechanisms — affinity
+masks (``pthread_setaffinity_np``) and cpufreq governors (``cpufreq-set``)
+— and observes through perf counters.  This package models that layer:
+
+* :mod:`repro.sched.affinity` — affinity masks and the restricted set of
+  thread-to-core mappings the agent chooses from (Section 5.1);
+* :mod:`repro.sched.scheduler` — a load-balancing thread scheduler that
+  approximates Linux's default placement (wake-time packing at low load,
+  periodic rebalancing) while always honouring affinity masks;
+* :mod:`repro.sched.governors` — ondemand, conservative, performance,
+  powersave and userspace frequency governors;
+* :mod:`repro.sched.perf` — synthetic cache-miss / page-fault counters
+  (Figure 6's overhead metrics).
+"""
+
+from repro.sched.affinity import AffinityMapping, MAPPING_PRESETS, mapping_by_name
+from repro.sched.governors import (
+    ConservativeGovernor,
+    Governor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+    make_governor,
+)
+from repro.sched.perf import PerfCounters
+from repro.sched.scheduler import CoreLoad, Scheduler
+
+__all__ = [
+    "AffinityMapping",
+    "ConservativeGovernor",
+    "CoreLoad",
+    "Governor",
+    "MAPPING_PRESETS",
+    "OndemandGovernor",
+    "PerfCounters",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "Scheduler",
+    "UserspaceGovernor",
+    "make_governor",
+    "mapping_by_name",
+]

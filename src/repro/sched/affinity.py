@@ -1,0 +1,156 @@
+"""Affinity masks and the restricted mapping set of Section 5.1.
+
+An :class:`AffinityMapping` assigns each thread a mask — the set of cores
+it may run on (``None`` means "any core", i.e. leave the decision to the
+OS).  The number of possible mappings grows exponentially with threads
+and cores, so, exactly as the paper does, only a small set of structured
+alternatives is exposed to the learning agent: the OS default, paired,
+spread, clustered-on-two, clustered-on-three and half-split shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+#: A mask is the set of allowed cores, or None for "all cores".
+Mask = Optional[FrozenSet[int]]
+
+
+@dataclass(frozen=True)
+class AffinityMapping:
+    """Per-thread affinity masks.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (used in logs and experiment tables).
+    masks:
+        One mask per thread; ``None`` entries leave that thread to the
+        OS's default placement.
+    """
+
+    name: str
+    masks: Tuple[Mask, ...]
+
+    @property
+    def num_threads(self) -> int:
+        """Number of threads the mapping describes."""
+        return len(self.masks)
+
+    def mask_for(self, thread_id: int) -> Mask:
+        """The mask of one thread (``None`` = any core)."""
+        return self.masks[thread_id]
+
+    def allows(self, thread_id: int, core: int) -> bool:
+        """Whether the thread may run on the core."""
+        mask = self.masks[thread_id]
+        return mask is None or core in mask
+
+    def validate(self, num_cores: int) -> None:
+        """Raise if any mask references a core outside the platform."""
+        for mask in self.masks:
+            if mask is None:
+                continue
+            if not mask:
+                raise ValueError("empty affinity mask")
+            if any(core < 0 or core >= num_cores for core in mask):
+                raise ValueError(f"mask {sorted(mask)} outside 0..{num_cores - 1}")
+
+    @classmethod
+    def os_default(cls, num_threads: int) -> "AffinityMapping":
+        """The unconstrained mapping (Linux decides everything)."""
+        return cls("os_default", tuple(None for _ in range(num_threads)))
+
+    @classmethod
+    def from_assignment(
+        cls, name: str, cores_per_thread: Sequence[int]
+    ) -> "AffinityMapping":
+        """Pin each thread to a single core.
+
+        Parameters
+        ----------
+        name:
+            Mapping identifier.
+        cores_per_thread:
+            ``cores_per_thread[i]`` is the core thread ``i`` is pinned to.
+        """
+        masks = tuple(frozenset({core}) for core in cores_per_thread)
+        return cls(name, masks)
+
+
+def _half_split(num_threads: int) -> AffinityMapping:
+    """First half of the threads on cores {0,1}, second half on {2,3}."""
+    first = frozenset({0, 1})
+    second = frozenset({2, 3})
+    masks = tuple(
+        first if tid < num_threads // 2 else second for tid in range(num_threads)
+    )
+    return AffinityMapping("half_split", masks)
+
+
+def _cycle(pattern: Sequence[int], num_threads: int) -> List[int]:
+    """Repeat an assignment pattern to cover ``num_threads`` threads."""
+    return [pattern[tid % len(pattern)] for tid in range(num_threads)]
+
+
+def _build_presets(num_threads: int = 6) -> Dict[str, AffinityMapping]:
+    """The restricted mapping alternatives for threads on 4 cores."""
+    presets = {
+        # Leave everything to the OS (what Linux does by default).
+        "os_default": AffinityMapping.os_default(num_threads),
+        # The motivational experiment's fixed assignment: two cores run
+        # two threads each, two cores run one thread each (Section 3).
+        "paired_2211": AffinityMapping.from_assignment(
+            "paired_2211", _cycle([0, 0, 1, 1, 2, 3], num_threads)
+        ),
+        # Round-robin spread: as even as the thread count allows.
+        "spread_rr": AffinityMapping.from_assignment(
+            "spread_rr", _cycle([0, 1, 2, 3], num_threads)
+        ),
+        # Alternate-pairing spread, heats the other diagonal of the die.
+        "spread_alt": AffinityMapping.from_assignment(
+            "spread_alt", _cycle([2, 3, 0, 1], num_threads)
+        ),
+        # All threads on two cores: half the die stays cool.
+        "cluster_2": AffinityMapping.from_assignment(
+            "cluster_2", _cycle([0, 1], num_threads)
+        ),
+        # All threads on three cores.
+        "cluster_3": AffinityMapping.from_assignment(
+            "cluster_3", _cycle([0, 1, 2], num_threads)
+        ),
+        # Halves of the thread pool on halves of the die; the scheduler
+        # still balances within each half.
+        "half_split": _half_split(num_threads),
+    }
+    return presets
+
+
+#: Name -> mapping for the default 6-thread configuration.
+MAPPING_PRESETS: Dict[str, AffinityMapping] = _build_presets()
+
+#: Preset names in a stable order (the action-space order).
+MAPPING_ORDER: List[str] = [
+    "os_default",
+    "spread_rr",
+    "paired_2211",
+    "cluster_3",
+    "half_split",
+    "cluster_2",
+    "spread_alt",
+]
+
+
+def mapping_by_name(name: str, num_threads: int = 6) -> AffinityMapping:
+    """Look up a preset mapping, rebuilt for a non-default thread count.
+
+    Raises
+    ------
+    KeyError
+        For an unknown preset name.
+    """
+    presets = MAPPING_PRESETS if num_threads == 6 else _build_presets(num_threads)
+    if name not in presets:
+        raise KeyError(f"unknown mapping {name!r}")
+    return presets[name]

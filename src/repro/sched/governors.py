@@ -1,0 +1,207 @@
+"""CPU frequency governors (cpufreq power schemes).
+
+The five Linux governors the paper's action space uses (Section 5.1):
+
+* ``performance`` — always the highest operating point;
+* ``powersave`` — always the lowest;
+* ``userspace`` — a fixed user-chosen frequency (the agent gets three);
+* ``ondemand`` — jump to the maximum when utilisation crosses the up
+  threshold, otherwise scale proportionally to demand (Pallipadi &
+  Starikovskiy, paper ref. [13]);
+* ``conservative`` — like ondemand but moves one ladder rung at a time.
+
+Governors are per-core: ``update`` maps a utilisation vector to a
+frequency vector, statefully for the graded governors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.power.opp import OppLadder
+
+
+class Governor:
+    """Base class of all frequency governors."""
+
+    #: cpufreq-style name; subclasses override.
+    name = "base"
+
+    def __init__(self, ladder: OppLadder, num_cores: int) -> None:
+        self.ladder = ladder
+        self.num_cores = num_cores
+        self._frequencies: List[float] = [ladder.min_point.frequency_hz] * num_cores
+
+    def frequencies(self) -> List[float]:
+        """Current per-core frequencies in hertz."""
+        return list(self._frequencies)
+
+    def reset(self) -> None:
+        """Return every core to the governor's starting frequency."""
+        self._frequencies = [self.ladder.min_point.frequency_hz] * self.num_cores
+
+    def update(self, utilisations: Sequence[float]) -> List[float]:
+        """Advance one governor evaluation and return new frequencies.
+
+        Parameters
+        ----------
+        utilisations:
+            Per-core utilisation in [0, 1] over the last evaluation
+            period.
+        """
+        raise NotImplementedError
+
+
+class PerformanceGovernor(Governor):
+    """Pin every core at the maximum operating point."""
+
+    name = "performance"
+
+    def update(self, utilisations: Sequence[float]) -> List[float]:
+        self._frequencies = [self.ladder.max_point.frequency_hz] * self.num_cores
+        return self.frequencies()
+
+
+class PowersaveGovernor(Governor):
+    """Pin every core at the minimum operating point."""
+
+    name = "powersave"
+
+    def update(self, utilisations: Sequence[float]) -> List[float]:
+        self._frequencies = [self.ladder.min_point.frequency_hz] * self.num_cores
+        return self.frequencies()
+
+
+class UserspaceGovernor(Governor):
+    """Hold every core at a fixed user-requested frequency.
+
+    Parameters
+    ----------
+    frequency_hz:
+        The requested frequency; snapped to the nearest operating point,
+        as ``cpufreq-set -f`` does.
+    """
+
+    def __init__(self, ladder: OppLadder, num_cores: int, frequency_hz: float) -> None:
+        super().__init__(ladder, num_cores)
+        self._target = ladder.nearest(frequency_hz).frequency_hz
+        self._frequencies = [self._target] * num_cores
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"userspace@{self._target / 1e9:.1f}GHz"
+
+    @property
+    def target_frequency_hz(self) -> float:
+        """The held frequency in hertz."""
+        return self._target
+
+    def update(self, utilisations: Sequence[float]) -> List[float]:
+        self._frequencies = [self._target] * self.num_cores
+        return self.frequencies()
+
+
+class OndemandGovernor(Governor):
+    """Linux's default on-demand governor.
+
+    Jumps straight to the maximum frequency when utilisation exceeds
+    ``up_threshold`` and otherwise picks the lowest frequency that keeps
+    projected utilisation below the threshold — the classic ondemand
+    policy.
+    """
+
+    name = "ondemand"
+
+    def __init__(
+        self, ladder: OppLadder, num_cores: int, up_threshold: float = 0.80
+    ) -> None:
+        super().__init__(ladder, num_cores)
+        if not 0.0 < up_threshold <= 1.0:
+            raise ValueError("up_threshold must be in (0, 1]")
+        self.up_threshold = up_threshold
+
+    def update(self, utilisations: Sequence[float]) -> List[float]:
+        new_frequencies = []
+        f_max = self.ladder.max_point.frequency_hz
+        for core, util in enumerate(utilisations):
+            if util >= self.up_threshold:
+                new_frequencies.append(f_max)
+            else:
+                # Demand in cycle terms at the current frequency, mapped
+                # to the smallest frequency that keeps util below the
+                # threshold.
+                demand_hz = util * self._frequencies[core] / self.up_threshold
+                new_frequencies.append(self.ladder.ceil(demand_hz).frequency_hz)
+        self._frequencies = new_frequencies
+        return self.frequencies()
+
+
+class ConservativeGovernor(Governor):
+    """Graded governor: one ladder rung per evaluation.
+
+    Steps a core up one operating point when utilisation exceeds the up
+    threshold, down one when it falls below the down threshold.
+    """
+
+    name = "conservative"
+
+    def __init__(
+        self,
+        ladder: OppLadder,
+        num_cores: int,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.30,
+    ) -> None:
+        super().__init__(ladder, num_cores)
+        if not 0.0 <= down_threshold < up_threshold <= 1.0:
+            raise ValueError("need 0 <= down < up <= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+
+    def update(self, utilisations: Sequence[float]) -> List[float]:
+        new_frequencies = []
+        for core, util in enumerate(utilisations):
+            current = self._frequencies[core]
+            if util >= self.up_threshold:
+                new_frequencies.append(self.ladder.step(current, +1).frequency_hz)
+            elif util <= self.down_threshold:
+                new_frequencies.append(self.ladder.step(current, -1).frequency_hz)
+            else:
+                new_frequencies.append(current)
+        self._frequencies = new_frequencies
+        return self.frequencies()
+
+
+def make_governor(
+    name: str,
+    ladder: OppLadder,
+    num_cores: int,
+    userspace_frequency_hz: float | None = None,
+) -> Governor:
+    """Instantiate a governor by cpufreq name.
+
+    Parameters
+    ----------
+    name:
+        One of ``ondemand``, ``conservative``, ``performance``,
+        ``powersave``, ``userspace``.
+    ladder:
+        The platform's OPP ladder.
+    num_cores:
+        Number of cores governed.
+    userspace_frequency_hz:
+        Required for ``userspace``; ignored otherwise.
+    """
+    if name == "ondemand":
+        return OndemandGovernor(ladder, num_cores)
+    if name == "conservative":
+        return ConservativeGovernor(ladder, num_cores)
+    if name == "performance":
+        return PerformanceGovernor(ladder, num_cores)
+    if name == "powersave":
+        return PowersaveGovernor(ladder, num_cores)
+    if name == "userspace":
+        if userspace_frequency_hz is None:
+            raise ValueError("userspace governor needs a frequency")
+        return UserspaceGovernor(ladder, num_cores, userspace_frequency_hz)
+    raise KeyError(f"unknown governor {name!r}")

@@ -1,0 +1,19 @@
+"""The simulated quad-core system-on-chip.
+
+* :mod:`repro.soc.chip` — composes the thermal network, sensor bank and
+  power model into one steppable chip;
+* :mod:`repro.soc.simulator` — the discrete-time engine that wires the
+  chip to the scheduler, governor, applications and (optionally) a
+  thermal-management controller, and produces the run record every
+  experiment consumes.
+"""
+
+from repro.soc.chip import Chip
+from repro.soc.simulator import (
+    AppRecord,
+    Simulation,
+    SimulationResult,
+    ThermalManagerBase,
+)
+
+__all__ = ["AppRecord", "Chip", "Simulation", "SimulationResult", "ThermalManagerBase"]

@@ -1,0 +1,142 @@
+"""The chip: thermal network + power model + energy meter.
+
+One :meth:`Chip.step` call advances the die one tick: per-core dynamic
+power is evaluated from the scheduler's activity factors, leakage from
+the *current* temperatures (capturing the leakage/temperature feedback
+loop), the RC network integrates the total heat, and the energy meter
+accumulates both channels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.config import PlatformConfig
+from repro.power.dynamic import dynamic_power_w
+from repro.power.energy import EnergyMeter
+from repro.power.leakage import leakage_power_w
+from repro.power.opp import OppLadder
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.rc_model import RCThermalModel
+from repro.thermal.sensors import SensorBank
+
+
+class Chip:
+    """Steppable model of the quad-core die.
+
+    Parameters
+    ----------
+    config:
+        Platform configuration (power, thermal, sensors, OPPs).
+    seed:
+        Seed for the sensor noise RNG.
+    """
+
+    def __init__(self, config: PlatformConfig, seed: int = 0) -> None:
+        self.config = config
+        self.ladder = OppLadder(config.opp_table)
+        self.floorplan = Floorplan(
+            num_cores=config.num_cores, adjacency=config.core_adjacency
+        )
+        self.thermal = RCThermalModel(self.floorplan, config.thermal, config.dt)
+        self.sensors = SensorBank(config.num_cores, config.sensor, seed=seed)
+        self.energy = EnergyMeter()
+        self._last_dynamic: List[float] = [0.0] * config.num_cores
+        self._last_static: List[float] = [0.0] * config.num_cores
+        self._drift_rng = np.random.default_rng(seed + 7)
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores on the die."""
+        return self.config.num_cores
+
+    def core_temps_c(self) -> np.ndarray:
+        """True (un-sensed) core temperatures."""
+        return self.thermal.core_temps_c()
+
+    def read_sensors(self) -> np.ndarray:
+        """One quantised+noisy sensor sample per core."""
+        return self.sensors.read(self.core_temps_c())
+
+    def step(
+        self,
+        activities: Sequence[float],
+        frequencies_hz: Sequence[float],
+        dt: float,
+    ) -> np.ndarray:
+        """Advance the die one tick.
+
+        Parameters
+        ----------
+        activities:
+            Per-core switching-activity factors from the scheduler.
+        frequencies_hz:
+            Per-core clock frequencies (must be OPP frequencies).
+        dt:
+            Tick length in seconds.
+
+        Returns
+        -------
+        numpy.ndarray
+            The new true core temperatures.
+        """
+        if len(activities) != self.num_cores or len(frequencies_hz) != self.num_cores:
+            raise ValueError(f"expected {self.num_cores} activities and frequencies")
+        thermal_cfg = self.config.thermal
+        if thermal_cfg.ambient_drift_sigma_c > 0.0:
+            # Ornstein-Uhlenbeck airflow/ambient fluctuation.
+            tau = thermal_cfg.ambient_drift_tau_s
+            current = self.thermal.ambient_c
+            pull = (thermal_cfg.ambient_c - current) * (dt / tau)
+            kick = (
+                thermal_cfg.ambient_drift_sigma_c
+                * np.sqrt(2.0 * dt / tau)
+                * self._drift_rng.normal()
+            )
+            self.thermal.set_ambient_c(current + pull + kick)
+        temps = self.core_temps_c()
+        dynamic = []
+        static = []
+        for core in range(self.num_cores):
+            voltage = self.ladder.voltage_for(frequencies_hz[core])
+            dynamic.append(
+                dynamic_power_w(
+                    activities[core], voltage, frequencies_hz[core], self.config.power
+                )
+            )
+            static.append(leakage_power_w(temps[core], voltage, self.config.power))
+        uncore = (
+            self.config.power.idle_package_power
+            + self.config.power.uncore_power_per_active_core * sum(activities)
+        )
+        self.energy.record(dynamic, static, uncore, dt)
+        self._last_dynamic = dynamic
+        self._last_static = static
+        total = [dynamic[c] + static[c] for c in range(self.num_cores)]
+        return self.thermal.step(total, spreader_power_w=uncore)
+
+    def last_core_powers_w(self) -> List[float]:
+        """Total per-core power of the most recent tick."""
+        return [
+            self._last_dynamic[c] + self._last_static[c] for c in range(self.num_cores)
+        ]
+
+    def warm_start_idle(self) -> None:
+        """Jump the die to the steady state of an idle chip.
+
+        Uses the leakage at the lowest operating point as the idle power,
+        iterating the leakage/temperature fixed point a few times.
+        """
+        voltage = self.ladder.min_point.voltage_v
+        temps = self.core_temps_c()
+        for _ in range(5):
+            powers = [
+                leakage_power_w(temps[c], voltage, self.config.power)
+                for c in range(self.num_cores)
+            ]
+            self.thermal.warm_start(
+                powers, spreader_power_w=self.config.power.idle_package_power
+            )
+            temps = self.core_temps_c()

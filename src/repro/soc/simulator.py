@@ -1,0 +1,323 @@
+"""Discrete-time simulation engine.
+
+A :class:`Simulation` wires together the chip, the scheduler, a frequency
+governor, a sequence of applications (run back-to-back, as in the
+inter-application experiments) and optionally a thermal manager — the
+learning agent of the paper, a baseline controller, or nothing (plain
+Linux behaviour).
+
+Managers interact with the engine exactly the way the paper's run-time
+system interacts with Linux:
+
+* observe: :meth:`Simulation.read_sensors` (quantised sensor samples),
+  :attr:`Simulation.current_app` performance, :attr:`Simulation.perf`
+  counters;
+* actuate: :meth:`Simulation.set_governor` (``cpufreq-set``) and
+  :meth:`Simulation.set_mapping` (affinity masks);
+* pay for it: sampling/decision overhead is charged through
+  :meth:`repro.sched.scheduler.Scheduler.stall_all` and the perf
+  counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import PlatformConfig, ReliabilityConfig
+from repro.power.energy import EnergyMeter
+from repro.sched.affinity import AffinityMapping
+from repro.sched.governors import Governor, make_governor
+from repro.sched.perf import PerfCounters
+from repro.sched.scheduler import Scheduler
+from repro.soc.chip import Chip
+from repro.thermal.profile import ThermalProfile
+from repro.thermal.sensors import SensorBank
+from repro.workloads.application import Application
+
+#: CPU time stolen from every core by one sensor-sampling event.
+SAMPLE_OVERHEAD_S = 0.005
+#: CPU time stolen from every core by one learning-decision event.
+DECISION_OVERHEAD_S = 0.025
+
+
+class ThermalManagerBase:
+    """Interface every thermal-management controller implements."""
+
+    def attach(self, sim: "Simulation") -> None:
+        """Called once before the run starts."""
+
+    def on_tick(self, sim: "Simulation") -> None:
+        """Called after every simulation tick."""
+
+    def on_app_switch(self, sim: "Simulation", app: Application) -> None:
+        """Explicit application-switch signal.
+
+        Only controllers that rely on application-layer notification
+        (the *modified* Ge & Qiu baseline of Section 6.2) act on this;
+        the proposed approach must detect switches autonomously.
+        """
+
+    def stats(self) -> Dict[str, float]:
+        """Controller-specific statistics for the experiment record."""
+        return {}
+
+
+@dataclass
+class AppRecord:
+    """Execution record of one application within a run."""
+
+    name: str
+    dataset: str
+    start_s: float
+    end_s: float
+    completed_iterations: int
+    completed: bool
+    #: Chip dynamic energy consumed while this application ran (J).
+    dynamic_energy_j: float = 0.0
+    #: Chip static (leakage) energy consumed while it ran (J).
+    static_energy_j: float = 0.0
+
+    @property
+    def execution_time_s(self) -> float:
+        """Wall-clock execution time of the application."""
+        return self.end_s - self.start_s
+
+    @property
+    def throughput(self) -> float:
+        """Average iterations (frames) per second."""
+        if self.execution_time_s <= 0.0:
+            return 0.0
+        return self.completed_iterations / self.execution_time_s
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs from one run."""
+
+    profile: ThermalProfile
+    energy: EnergyMeter
+    perf: PerfCounters
+    app_records: List[AppRecord]
+    total_time_s: float
+    completed: bool
+    manager_stats: Dict[str, float] = field(default_factory=dict)
+
+    def reliability(self, config: ReliabilityConfig) -> Dict[str, float]:
+        """Worst-core reliability summary of the whole run."""
+        return self.profile.worst_case_report(config)
+
+    @property
+    def execution_time_s(self) -> float:
+        """Total execution time across all applications."""
+        return self.total_time_s
+
+
+class Simulation:
+    """One end-to-end run of applications on the simulated platform.
+
+    Parameters
+    ----------
+    applications:
+        Applications executed back-to-back (one for intra-application
+        experiments, several for the Figure 3 scenarios).
+    platform:
+        Platform configuration.
+    governor:
+        Initial cpufreq governor name.
+    userspace_frequency_hz:
+        Frequency for the ``userspace`` governor.
+    mapping:
+        Initial affinity mapping (None = OS default).
+    manager:
+        Optional thermal-management controller.
+    seed:
+        Base seed for sensor noise (manager and evaluation sensors get
+        distinct derived seeds).
+    eval_sample_period_s:
+        Sampling period of the evaluation thermal profile — the common
+        measuring stick all policies are judged with (1 s by default).
+    max_time_s:
+        Safety limit; a run that hits it is marked incomplete.
+    warm_start:
+        Start from the idle steady state instead of ambient.
+    """
+
+    def __init__(
+        self,
+        applications: Sequence[Application],
+        platform: Optional[PlatformConfig] = None,
+        governor: str = "ondemand",
+        userspace_frequency_hz: Optional[float] = None,
+        mapping: Optional[AffinityMapping] = None,
+        manager: Optional[ThermalManagerBase] = None,
+        seed: int = 0,
+        eval_sample_period_s: float = 1.0,
+        max_time_s: Optional[float] = None,
+        warm_start: bool = True,
+    ) -> None:
+        if not applications:
+            raise ValueError("need at least one application")
+        self.platform = platform if platform is not None else PlatformConfig()
+        self.applications = list(applications)
+        self.chip = Chip(self.platform, seed=seed)
+        self.perf = PerfCounters()
+        self.scheduler = Scheduler(self.platform.num_cores, perf=self.perf)
+        self._governor: Governor = make_governor(
+            governor,
+            self.chip.ladder,
+            self.platform.num_cores,
+            userspace_frequency_hz,
+        )
+        self._mapping = mapping
+        self.manager = manager
+        self._manager_sensors = SensorBank(
+            self.platform.num_cores, self.platform.sensor, seed=seed + 101
+        )
+        self._eval_sensors = SensorBank(
+            self.platform.num_cores,
+            self.platform.sensor,
+            seed=seed + 202,
+            sample_period_s=eval_sample_period_s,
+        )
+        self.eval_sample_period_s = eval_sample_period_s
+        self.max_time_s = max_time_s
+        self.now = 0.0
+        self._app_index = -1
+        self._app_start_s = 0.0
+        self._app_energy_snapshot = self.chip.energy.snapshot()
+        self._records: List[AppRecord] = []
+        self._profile = ThermalProfile(self.platform.num_cores, eval_sample_period_s)
+        self._next_eval_s = eval_sample_period_s
+        self._app_switched_flag = False
+        if warm_start:
+            self.chip.warm_start_idle()
+
+    # ------------------------------------------------------------------
+    # Manager-facing API
+    # ------------------------------------------------------------------
+
+    @property
+    def current_app(self) -> Application:
+        """The application currently executing."""
+        return self.applications[max(0, self._app_index)]
+
+    @property
+    def governor(self) -> Governor:
+        """The active frequency governor."""
+        return self._governor
+
+    @property
+    def mapping(self) -> Optional[AffinityMapping]:
+        """The active affinity mapping."""
+        return self._mapping
+
+    def read_sensors(self) -> np.ndarray:
+        """Sample the on-board sensors (the manager's observation)."""
+        self.perf.record_sample_event()
+        self.scheduler.stall_all(SAMPLE_OVERHEAD_S)
+        return self._manager_sensors.read(self.chip.core_temps_c())
+
+    def set_governor(
+        self, name: str, userspace_frequency_hz: Optional[float] = None
+    ) -> None:
+        """Switch the cpufreq governor (``cpufreq-set -g``)."""
+        current = self._governor
+        self._governor = make_governor(
+            name, self.chip.ladder, self.platform.num_cores, userspace_frequency_hz
+        )
+        # Inherit current frequencies where the new governor is adaptive,
+        # so a governor switch does not teleport the clock.
+        if name in ("ondemand", "conservative"):
+            self._governor._frequencies = current.frequencies()
+
+    def set_mapping(self, mapping: Optional[AffinityMapping]) -> None:
+        """Apply affinity masks (``pthread_setaffinity_np``)."""
+        self._mapping = mapping
+        self.scheduler.set_mapping(mapping)
+
+    def charge_decision_overhead(self) -> None:
+        """Charge one learning-decision event's CPU cost."""
+        self.perf.record_decision_event()
+        self.scheduler.stall_all(DECISION_OVERHEAD_S)
+
+    # ------------------------------------------------------------------
+    # Engine
+    # ------------------------------------------------------------------
+
+    def _start_next_app(self) -> bool:
+        """Advance to the next application; False when all are done."""
+        self._app_index += 1
+        if self._app_index >= len(self.applications):
+            return False
+        app = self.applications[self._app_index]
+        self.scheduler.set_threads(app.threads, mapping=self._mapping)
+        self._app_start_s = self.now
+        self._app_energy_snapshot = self.chip.energy.snapshot()
+        self._app_switched_flag = True
+        if self.manager is not None and self._app_index > 0:
+            self.manager.on_app_switch(self, app)
+        return True
+
+    def _finish_app(self, app: Application, completed: bool) -> None:
+        consumed = self.chip.energy.since(self._app_energy_snapshot)
+        self._records.append(
+            AppRecord(
+                name=app.spec.name,
+                dataset=app.spec.dataset,
+                start_s=self._app_start_s,
+                end_s=self.now,
+                completed_iterations=app.completed_iterations,
+                completed=completed,
+                dynamic_energy_j=consumed.dynamic_j,
+                static_energy_j=consumed.static_j,
+            )
+        )
+
+    def step(self) -> None:
+        """Advance the whole system by one tick."""
+        dt = self.platform.dt
+        app = self.current_app
+        frequencies = self._governor.frequencies()
+        loads = self.scheduler.tick(frequencies, dt)
+        app.tick(dt)
+        self._governor.update([load.utilisation for load in loads])
+        self.chip.step([load.activity for load in loads], frequencies, dt)
+        self.now += dt
+
+        if self.now + 1e-9 >= self._next_eval_s:
+            self._profile.append(self._eval_sensors.read(self.chip.core_temps_c()))
+            self._next_eval_s += self.eval_sample_period_s
+
+        if self.manager is not None:
+            self.manager.on_tick(self)
+
+    def run(self) -> SimulationResult:
+        """Execute every application to completion and build the result."""
+        if self.manager is not None:
+            self.manager.attach(self)
+        completed = True
+        self._start_next_app()
+        while True:
+            app = self.current_app
+            self.step()
+            if app.done:
+                self._finish_app(app, completed=True)
+                if not self._start_next_app():
+                    break
+                continue
+            if self.max_time_s is not None and self.now >= self.max_time_s:
+                self._finish_app(app, completed=False)
+                completed = False
+                break
+        return SimulationResult(
+            profile=self._profile,
+            energy=self.chip.energy,
+            perf=self.perf,
+            app_records=self._records,
+            total_time_s=self.now,
+            completed=completed,
+            manager_stats=self.manager.stats() if self.manager is not None else {},
+        )

@@ -1,0 +1,22 @@
+"""Compact thermal model of the quad-core die.
+
+The paper samples on-board thermal sensors of a real Intel quad-core; we
+replace the silicon with a lumped RC network (the same compact-model
+family as HotSpot, which the paper's related work uses for offline
+validation) plus a digital-sensor front end:
+
+* :mod:`repro.thermal.floorplan` — die layout and conductance graph;
+* :mod:`repro.thermal.rc_model` — the ODE ``C dT/dt = P - G(T - Tamb)``
+  advanced with an exact matrix-exponential propagator;
+* :mod:`repro.thermal.sensors` — quantised, noisy, periodically sampled
+  sensor readings (the only thermal view the controllers get);
+* :mod:`repro.thermal.profile` — trace container with the summary
+  statistics the experiments report.
+"""
+
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.profile import ThermalProfile
+from repro.thermal.rc_model import RCThermalModel
+from repro.thermal.sensors import SensorBank
+
+__all__ = ["Floorplan", "RCThermalModel", "SensorBank", "ThermalProfile"]

@@ -1,0 +1,152 @@
+"""Thermal profile container and summary statistics.
+
+A :class:`ThermalProfile` is the time-ordered record of per-core sensor
+samples produced by one simulation run.  Every experiment metric of the
+paper's evaluation (average temperature, peak temperature, thermal
+cycling, stress, aging) is computed from objects of this class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ReliabilityConfig
+from repro.reliability.mttf import MttfReport, evaluate_profile
+
+
+class ThermalProfile:
+    """Per-core temperature traces sampled at a uniform period.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of cores being traced.
+    sample_period_s:
+        Spacing of the samples in seconds.
+    """
+
+    def __init__(self, num_cores: int, sample_period_s: float) -> None:
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        if sample_period_s <= 0.0:
+            raise ValueError("sample period must be positive")
+        self.num_cores = num_cores
+        self.sample_period_s = sample_period_s
+        self._samples: List[List[float]] = [[] for _ in range(num_cores)]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def append(self, temps_c: Sequence[float]) -> None:
+        """Record one sample per core."""
+        if len(temps_c) != self.num_cores:
+            raise ValueError(f"expected {self.num_cores} samples")
+        for core, value in enumerate(temps_c):
+            self._samples[core].append(float(value))
+
+    def extend(self, other: "ThermalProfile") -> None:
+        """Append another profile recorded with the same period."""
+        if other.num_cores != self.num_cores:
+            raise ValueError("core-count mismatch")
+        if abs(other.sample_period_s - self.sample_period_s) > 1e-12:
+            raise ValueError("sample-period mismatch")
+        for core in range(self.num_cores):
+            self._samples[core].extend(other._samples[core])
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of samples recorded per core."""
+        return len(self._samples[0])
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock time represented by the profile."""
+        return len(self) * self.sample_period_s
+
+    def core_series(self, core: int) -> List[float]:
+        """The sample list of one core (a copy)."""
+        return list(self._samples[core])
+
+    def as_array(self) -> np.ndarray:
+        """All samples as a ``(num_samples, num_cores)`` array."""
+        return np.array(self._samples, dtype=float).T
+
+    def tail(self, num_samples: int) -> "ThermalProfile":
+        """A new profile holding only the last ``num_samples`` samples."""
+        clipped = ThermalProfile(self.num_cores, self.sample_period_s)
+        for core in range(self.num_cores):
+            clipped._samples[core] = self._samples[core][-num_samples:]
+        return clipped
+
+    def window(self, start_s: float, end_s: Optional[float] = None) -> "ThermalProfile":
+        """A new profile restricted to ``[start_s, end_s)`` of the run.
+
+        Sample ``k`` is taken to represent time ``(k + 1) *
+        sample_period_s`` (samples are recorded at the end of each
+        period).
+        """
+        if end_s is None:
+            end_s = self.duration_s
+        if start_s < 0.0 or end_s < start_s:
+            raise ValueError("need 0 <= start_s <= end_s")
+        first = max(0, int(start_s / self.sample_period_s))
+        last = min(len(self), int(end_s / self.sample_period_s))
+        clipped = ThermalProfile(self.num_cores, self.sample_period_s)
+        for core in range(self.num_cores):
+            clipped._samples[core] = self._samples[core][first:last]
+        return clipped
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def average_temp_c(self) -> float:
+        """Mean temperature across all cores and samples."""
+        if not len(self):
+            raise ValueError("empty profile")
+        return float(np.mean(self.as_array()))
+
+    def peak_temp_c(self) -> float:
+        """Maximum temperature across all cores and samples."""
+        if not len(self):
+            raise ValueError("empty profile")
+        return float(np.max(self.as_array()))
+
+    def per_core_average_c(self) -> List[float]:
+        """Mean temperature of each core."""
+        return [float(np.mean(s)) for s in self._samples]
+
+    def per_core_peak_c(self) -> List[float]:
+        """Peak temperature of each core."""
+        return [float(np.max(s)) for s in self._samples]
+
+    def core_reports(self, config: ReliabilityConfig) -> List[MttfReport]:
+        """Per-core reliability reports (aging + cycling MTTF)."""
+        return [
+            evaluate_profile(self._samples[core], self.sample_period_s, config)
+            for core in range(self.num_cores)
+        ]
+
+    def worst_case_report(self, config: ReliabilityConfig) -> Dict[str, float]:
+        """Chip-level summary: worst core per reliability channel.
+
+        The paper reports a single MTTF per run; a chip fails when its
+        first core fails, so the chip MTTF per channel is the minimum
+        across cores.  Average/peak temperature are the cross-core mean
+        and max, matching how Table 2 reports them.
+        """
+        reports = self.core_reports(config)
+        return {
+            "average_temp_c": self.average_temp_c(),
+            "peak_temp_c": self.peak_temp_c(),
+            "aging_mttf_years": min(r.aging_mttf_years for r in reports),
+            "cycling_mttf_years": min(r.cycling_mttf_years for r in reports),
+            "stress": max(r.stress for r in reports),
+            "num_cycles": max(r.num_cycles for r in reports),
+        }

@@ -1,0 +1,38 @@
+"""Synthetic multi-threaded multimedia workloads (ALPBench stand-ins).
+
+The paper runs five ALPBench applications (tachyon, mpeg_dec, mpeg_enc,
+face_rec, sphinx) with 6 threads each.  We cannot ship ALPBench, so each
+application is modelled by the phase structure the paper itself uses to
+explain its thermal behaviour (Section 3):
+
+* a per-thread **compute phase** — thread-independent high-activity
+  cycles whose length varies per thread (jitter) and with the core's
+  frequency and time-sharing;
+* an **inter-thread dependent phase** — a barrier plus a serial/IO
+  section during which threads are idle-ish.
+
+Long compute / short dependency (face_rec, tachyon) yields sustained heat;
+short compute / long dependency (mpeg_enc, mpeg_dec) yields alternating
+heat, i.e. thermal cycling — exactly the two regimes of Figure 1.
+"""
+
+from repro.workloads.application import Application, PerformanceMetric
+from repro.workloads.alpbench import APP_NAMES, make_application, workload_spec
+from repro.workloads.datasets import DATASET_NAMES, dataset_names_for
+from repro.workloads.scenarios import INTER_APP_SCENARIOS, scenario_applications
+from repro.workloads.thread_model import SimThread, ThreadPhase, WorkloadSpec
+
+__all__ = [
+    "APP_NAMES",
+    "Application",
+    "DATASET_NAMES",
+    "INTER_APP_SCENARIOS",
+    "PerformanceMetric",
+    "SimThread",
+    "ThreadPhase",
+    "WorkloadSpec",
+    "dataset_names_for",
+    "make_application",
+    "scenario_applications",
+    "workload_spec",
+]

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AgentConfig,
+    PlatformConfig,
+    ReliabilityConfig,
+    default_agent_config,
+    default_platform_config,
+    default_reliability_config,
+)
+from repro.power.opp import OppLadder
+from repro.thermal.floorplan import Floorplan
+from repro.workloads.alpbench import make_application
+
+
+@pytest.fixture
+def platform() -> PlatformConfig:
+    """Default platform configuration."""
+    return default_platform_config()
+
+
+@pytest.fixture
+def reliability() -> ReliabilityConfig:
+    """Default reliability configuration."""
+    return default_reliability_config()
+
+
+@pytest.fixture
+def agent_config() -> AgentConfig:
+    """Default agent configuration."""
+    return default_agent_config()
+
+
+@pytest.fixture
+def ladder(platform) -> OppLadder:
+    """Default OPP ladder."""
+    return OppLadder(platform.opp_table)
+
+
+@pytest.fixture
+def floorplan() -> Floorplan:
+    """Default 2x2 floorplan."""
+    return Floorplan.grid_2x2()
+
+
+@pytest.fixture
+def small_app():
+    """A short mpeg_dec application for fast integration tests."""
+    from dataclasses import replace
+
+    from repro.workloads.application import Application
+
+    app = make_application("mpeg_dec", "clip 1", seed=7)
+    return Application(replace(app.spec, iterations=12), metric=app.metric, seed=7)

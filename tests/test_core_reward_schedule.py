@@ -1,0 +1,162 @@
+"""Tests for the Eq. 8 reward and the learning-rate schedule."""
+
+import math
+
+import pytest
+
+from repro.core.reward import RewardFunction
+from repro.core.schedule import AlphaSchedule, LearningPhase
+from repro.core.state import EpochObservation, StateSpace
+
+
+def obs(stress, aging):
+    return EpochObservation(stress, aging, 0.0, 1.0)
+
+
+@pytest.fixture
+def reward_fn(agent_config, reliability):
+    return RewardFunction(agent_config, StateSpace(3, 3, reliability))
+
+
+# ---------------------------------------------------------------------------
+# Reward (Eq. 8)
+# ---------------------------------------------------------------------------
+
+
+def test_unsafe_zone_is_penalised(reward_fn):
+    breakdown = reward_fn.evaluate(obs(0.95, 0.5), performance=1.0, constraint=0.5)
+    assert breakdown.unsafe
+    assert breakdown.total < 0.0
+
+
+def test_unsafe_penalty_grows_with_depth(reward_fn):
+    shallow = reward_fn.evaluate(obs(0.7, 0.7), 1.0, 0.5).total
+    deep = reward_fn.evaluate(obs(1.0, 1.0), 1.0, 0.5).total
+    assert deep < shallow < 0.0
+
+
+def test_safe_reward_positive_when_performance_met(reward_fn):
+    breakdown = reward_fn.evaluate(obs(0.2, 0.2), performance=1.0, constraint=0.5)
+    assert not breakdown.unsafe
+    assert breakdown.total > 0.0
+    assert breakdown.performance_term == 0.0
+
+
+def test_thermal_term_monotone_in_safety(reward_fn):
+    """Cooler, less-cycling epochs never earn less (the Gaussian blend
+    must not invert the preference)."""
+    values = [reward_fn.thermal_term(obs(s, s)) for s in (0.0, 0.2, 0.4, 0.6)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_performance_shortfall_penalised(reward_fn):
+    met = reward_fn.evaluate(obs(0.2, 0.2), performance=0.5, constraint=0.5).total
+    missed = reward_fn.evaluate(obs(0.2, 0.2), performance=0.25, constraint=0.5).total
+    assert missed < met
+
+
+def test_no_bonus_above_constraint(reward_fn):
+    at = reward_fn.evaluate(obs(0.2, 0.2), performance=0.5, constraint=0.5).total
+    above = reward_fn.evaluate(obs(0.2, 0.2), performance=5.0, constraint=0.5).total
+    assert above == pytest.approx(at)
+
+
+def test_importance_pair_selection(reward_fn, agent_config):
+    assert reward_fn.importance(obs(0.5, 0.1)) == agent_config.weight_stress_dominant
+    assert reward_fn.importance(obs(0.1, 0.5)) == agent_config.weight_aging_dominant
+
+
+def test_gaussian_weight_peaks_at_centre(reward_fn, agent_config):
+    centre = agent_config.gaussian_centre
+    assert reward_fn.gaussian_weight(centre) == pytest.approx(1.0)
+    assert reward_fn.gaussian_weight(0.0) < 1.0
+    assert reward_fn.gaussian_weight(1.0) < 1.0
+
+
+def test_zero_constraint_disables_perf_term(reward_fn):
+    assert reward_fn.performance_term(0.0, 0.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Alpha schedule / learning phases
+# ---------------------------------------------------------------------------
+
+
+def test_alpha_starts_at_one():
+    schedule = AlphaSchedule(8.0, 0.05, table_size=72)
+    assert schedule.alpha == 1.0
+    assert schedule.phase is LearningPhase.EXPLORATION
+
+
+def test_alpha_decays_exponentially():
+    schedule = AlphaSchedule(8.0, 0.05, table_size=72)
+    for _ in range(8):
+        schedule.advance()
+    assert schedule.alpha == pytest.approx(math.exp(-1.0))
+
+
+def test_phase_transitions():
+    schedule = AlphaSchedule(8.0, 0.05, table_size=72)
+    phases = []
+    for _ in range(40):
+        phases.append(schedule.phase)
+        schedule.advance()
+    assert phases[0] is LearningPhase.EXPLORATION
+    assert LearningPhase.EXPLORATION_EXPLOITATION in phases
+    assert phases[-1] is LearningPhase.EXPLOITATION
+
+
+def test_exploitation_epsilon_is_zero():
+    schedule = AlphaSchedule(8.0, 0.05, table_size=72)
+    while schedule.phase is not LearningPhase.EXPLOITATION:
+        schedule.advance()
+    assert schedule.epsilon == 0.0
+
+
+def test_exploration_just_ended_fires_once():
+    schedule = AlphaSchedule(8.0, 0.05, table_size=72)
+    fired = 0
+    for _ in range(30):
+        schedule.advance()
+        if schedule.exploration_just_ended():
+            fired += 1
+    assert fired == 1
+
+
+def test_tau_scales_with_table_size():
+    small = AlphaSchedule(8.0, 0.05, table_size=72)
+    large = AlphaSchedule(8.0, 0.05, table_size=288)
+    assert large.tau == pytest.approx(2 * small.tau)
+
+
+def test_restart_intra_resumes_mid_schedule():
+    schedule = AlphaSchedule(8.0, 0.05, table_size=72, alpha_intra=0.15)
+    for _ in range(40):
+        schedule.advance()
+    schedule.restart_intra()
+    assert schedule.alpha == pytest.approx(0.15)
+    assert schedule.phase is LearningPhase.EXPLORATION_EXPLOITATION
+
+
+def test_restart_inter_resets_fully():
+    schedule = AlphaSchedule(8.0, 0.05, table_size=72)
+    for _ in range(40):
+        schedule.advance()
+    schedule.restart_inter()
+    assert schedule.alpha == 1.0
+    assert schedule.epoch == 0
+    assert schedule.phase is LearningPhase.EXPLORATION
+    # The snapshot trigger re-arms after an inter reset.
+    fired = 0
+    for _ in range(30):
+        schedule.advance()
+        if schedule.exploration_just_ended():
+            fired += 1
+    assert fired == 1
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        AlphaSchedule(0.0, 0.05, table_size=72)
+    with pytest.raises(ValueError):
+        AlphaSchedule(8.0, 0.9, table_size=72)

@@ -1,0 +1,117 @@
+"""Tests for the (stress, aging) state space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import EpochObservation, StateSpace
+
+
+@pytest.fixture
+def states(reliability):
+    return StateSpace(3, 3, reliability)
+
+
+def obs(stress, aging):
+    return EpochObservation(
+        stress_norm=stress, aging_norm=aging, raw_stress_rate=0.0, raw_aging_rate=1.0
+    )
+
+
+def test_num_states(states):
+    assert states.num_states == 9
+
+
+def test_rejects_tiny_spaces(reliability):
+    with pytest.raises(ValueError):
+        StateSpace(1, 3, reliability)
+
+
+def test_bins_cover_unit_interval(states):
+    assert states.stress_bin(0.0) == 0
+    assert states.stress_bin(0.999) == 2
+    assert states.stress_bin(1.0) == 2  # clamped into the last bin
+    assert states.aging_bin(0.5) == 1
+
+
+def test_state_of_roundtrip(states):
+    for stress in (0.1, 0.5, 0.9):
+        for aging in (0.1, 0.5, 0.9):
+            state = states.state_of(obs(stress, aging))
+            a_bin, s_bin = states.bins_of(state)
+            assert a_bin == states.aging_bin(aging)
+            assert s_bin == states.stress_bin(stress)
+
+
+def test_bins_of_validates(states):
+    with pytest.raises(ValueError):
+        states.bins_of(9)
+    with pytest.raises(ValueError):
+        states.bins_of(-1)
+
+
+def test_unsafe_zone(states):
+    assert states.is_unsafe(obs(0.95, 0.1))
+    assert states.is_unsafe(obs(0.1, 0.95))
+    assert not states.is_unsafe(obs(0.5, 0.5))
+
+
+def test_describe(states):
+    text = states.describe(4)
+    assert "aging[1/3]" in text and "stress[1/3]" in text
+
+
+def test_observe_constant_profile(states):
+    samples = [[40.0] * 20 for _ in range(4)]
+    observation = states.observe(samples, 3.0)
+    assert observation.stress_norm == 0.0
+    assert observation.raw_aging_rate > 1.0  # 40 C > idle reference
+
+
+def test_observe_idle_profile_is_origin(states, reliability):
+    samples = [[reliability.reference_temp_c] * 20 for _ in range(4)]
+    observation = states.observe(samples, 3.0)
+    assert observation.aging_norm == pytest.approx(0.0, abs=1e-9)
+    assert states.state_of(observation) == 0
+
+
+def test_observe_cycling_profile_has_stress(states):
+    series = [40.0, 55.0] * 10
+    observation = states.observe([series], 3.0)
+    assert observation.stress_norm > 0.0
+
+
+def test_observe_uses_worst_core(states):
+    hot = [70.0] * 20
+    cold = [35.0] * 20
+    worst = states.observe([cold, hot, cold, cold], 3.0)
+    only_cold = states.observe([cold, cold, cold, cold], 3.0)
+    assert worst.aging_norm > only_cold.aging_norm
+
+
+def test_observe_trailing_half_aging(states):
+    """Aging reflects the destination temperature of a ramp epoch."""
+    ramp = [40.0 + 3.0 * i for i in range(10)]  # 40 -> 67
+    steady_mean = states.observe([[sum(ramp) / len(ramp)] * 10], 3.0)
+    ramped = states.observe([ramp], 3.0)
+    assert ramped.aging_norm > steady_mean.aging_norm
+
+
+def test_observe_context_counts_boundary_cycles(states):
+    """A hot->cold step across the epoch boundary is invisible without
+    context and visible with it."""
+    previous = [[60.0] * 10]
+    current = [[40.0] * 10]
+    without = states.observe(current, 3.0)
+    with_ctx = states.observe(current, 3.0, context_samples=previous)
+    assert with_ctx.stress_norm > without.stress_norm
+
+
+@given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_every_observation_maps_to_valid_state(stress, aging):
+    from repro.config import default_reliability_config
+
+    states = StateSpace(4, 3, default_reliability_config())
+    state = states.state_of(obs(stress, aging))
+    assert 0 <= state < states.num_states

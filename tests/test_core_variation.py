@@ -1,0 +1,98 @@
+"""Tests for the inter/intra workload-variation detector."""
+
+import pytest
+
+from repro.core.state import EpochObservation
+from repro.core.variation import VariationDetector, VariationKind
+
+
+def obs(stress, aging):
+    return EpochObservation(stress, aging, 0.0, 1.0)
+
+
+@pytest.fixture
+def detector(agent_config):
+    return VariationDetector(agent_config)
+
+
+def feed(detector, pairs, action_stable=True):
+    reports = []
+    for stress, aging in pairs:
+        reports.append(detector.observe(obs(stress, aging), action_stable=action_stable))
+    return reports
+
+
+def test_first_observation_is_none(detector):
+    report = detector.observe(obs(0.5, 0.5))
+    assert report.kind is VariationKind.NONE
+
+
+def test_steady_workload_no_variation(detector):
+    reports = feed(detector, [(0.3, 0.3)] * 10)
+    assert all(r.kind is VariationKind.NONE for r in reports)
+
+
+def test_small_noise_no_variation(detector):
+    reports = feed(detector, [(0.30, 0.30), (0.33, 0.31), (0.29, 0.32), (0.31, 0.30)])
+    assert all(r.kind is VariationKind.NONE for r in reports)
+
+
+def test_moderate_shift_is_intra(detector, agent_config):
+    low = agent_config.aging_ma_lower
+    reports = feed(detector, [(0.3, 0.3)] * 3 + [(0.3, 0.3 + low + 0.02)])
+    assert reports[-1].kind is VariationKind.INTRA
+
+
+def test_sustained_level_shift_is_inter(detector):
+    """An application switch: a sustained same-sign jump on one axis."""
+    reports = feed(detector, [(0.05, 0.35)] * 4 + [(0.05, 0.05), (0.05, 0.05)])
+    assert reports[-1].kind is VariationKind.INTER
+
+
+def test_single_spike_is_not_inter(detector):
+    """One deviating epoch that returns to trend must not reset."""
+    reports = feed(detector, [(0.3, 0.3)] * 4 + [(0.3, 0.65), (0.3, 0.32), (0.3, 0.3)])
+    assert all(r.kind is not VariationKind.INTER for r in reports)
+
+
+def test_alternating_swings_are_not_inter(detector):
+    """Opposite-sign consecutive deviations (the agent's own action
+    flip-flop) never count as an application switch."""
+    pattern = [(0.3, 0.2), (0.3, 0.6), (0.3, 0.2), (0.3, 0.6), (0.3, 0.2)]
+    reports = feed(detector, [(0.3, 0.4)] * 3 + pattern)
+    assert all(r.kind is not VariationKind.INTER for r in reports)
+
+
+def test_action_change_masks_first_deviation(detector):
+    """Deviations caused by the agent's own actuation change do not
+    open an inter trigger."""
+    feed(detector, [(0.05, 0.35)] * 4)
+    first = detector.observe(obs(0.05, 0.05), action_stable=False)
+    second = detector.observe(obs(0.05, 0.05), action_stable=False)
+    assert first.kind is not VariationKind.INTER
+    assert second.kind is not VariationKind.INTER
+
+
+def test_stress_axis_detects_too(detector):
+    reports = feed(detector, [(0.05, 0.2)] * 4 + [(0.5, 0.2), (0.5, 0.2)])
+    assert reports[-1].kind is VariationKind.INTER
+
+
+def test_immediate_huge_jump_is_inter(detector, agent_config):
+    jump = 2.6 * agent_config.aging_ma_upper
+    reports = feed(detector, [(0.1, 0.1)] * 3 + [(0.1, 0.1 + jump)])
+    assert reports[-1].kind is VariationKind.INTER
+
+
+def test_reset_forgets_history(detector):
+    feed(detector, [(0.05, 0.35)] * 4)
+    detector.reset()
+    report = detector.observe(obs(0.05, 0.05))
+    assert report.kind is VariationKind.NONE  # first obs after reset
+
+
+def test_window_validation(agent_config):
+    from dataclasses import replace
+
+    with pytest.raises(ValueError):
+        VariationDetector(replace(agent_config, ma_window=0))

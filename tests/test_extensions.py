@@ -1,0 +1,133 @@
+"""Tests for the future-work extensions (concurrent apps, big.LITTLE)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import default_agent_config, default_reliability_config
+from repro.core.manager import ProposedThermalManager
+from repro.extensions.concurrent import CompositeApplication
+from repro.extensions.heterogeneous import (
+    DEFAULT_SPEED_FACTORS,
+    HeterogeneousChip,
+    heterogeneous_platform,
+    make_heterogeneous_simulation,
+)
+from repro.soc.simulator import Simulation
+from repro.workloads.alpbench import make_application
+from repro.workloads.application import Application
+
+
+def short_app(name="mpeg_dec", iters=8, seed=5):
+    app = make_application(name, seed=seed)
+    return Application(replace(app.spec, iterations=iters), metric=app.metric, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent applications
+# ---------------------------------------------------------------------------
+
+
+def test_composite_renumbers_threads():
+    composite = CompositeApplication([short_app(seed=1), short_app(seed=2)])
+    ids = [t.thread_id for t in composite.threads]
+    assert ids == list(range(12))
+    assert composite.spec.num_threads == 12
+
+
+def test_composite_requires_applications():
+    with pytest.raises(ValueError):
+        CompositeApplication([])
+
+
+def test_composite_name_and_constraint():
+    composite = CompositeApplication([short_app(seed=1), short_app(seed=2)])
+    assert composite.spec.name == "mpeg_dec+mpeg_dec"
+    assert composite.spec.performance_constraint == 2.0
+
+
+def test_composite_runs_to_completion():
+    composite = CompositeApplication(
+        [short_app("mpeg_dec", seed=1), short_app("tachyon", iters=6, seed=2)]
+    )
+    sim = Simulation([composite], governor="ondemand", seed=1, max_time_s=4000)
+    result = sim.run()
+    assert result.completed
+    assert composite.done
+    for name, iterations, done in composite.per_app_records():
+        assert done, name
+        assert iterations > 0
+
+
+def test_composite_throughput_normalised():
+    apps = [short_app(seed=1), short_app(seed=2)]
+    composite = CompositeApplication(apps)
+    sim = Simulation([composite], seed=1, max_time_s=4000)
+    sim.run()
+    # Whole-run normalised throughput should be near "both satisfied",
+    # i.e. around the constraint of 2.0 (within a factor).
+    assert composite.throughput() > 0.5
+
+
+def test_composite_under_proposed_manager():
+    composite = CompositeApplication(
+        [short_app("mpeg_dec", iters=20, seed=1), short_app("mpeg_enc", iters=20, seed=2)]
+    )
+    manager = ProposedThermalManager(
+        default_agent_config(), default_reliability_config()
+    )
+    sim = Simulation([composite], manager=manager, seed=1, max_time_s=8000)
+    result = sim.run()
+    assert result.completed
+    assert result.manager_stats["epochs"] > 3
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous cores
+# ---------------------------------------------------------------------------
+
+
+def test_heterogeneous_platform_validation():
+    with pytest.raises(ValueError):
+        heterogeneous_platform((1.0, 1.0))  # wrong width
+    with pytest.raises(ValueError):
+        heterogeneous_platform((1.0, 1.0, 0.0, 0.5))  # non-positive
+
+
+def test_heterogeneous_chip_power_scales():
+    platform, factors = heterogeneous_platform()
+    big = HeterogeneousChip(platform, (1.0, 1.0, 1.0, 1.0), seed=0)
+    little = HeterogeneousChip(platform, (0.5, 0.5, 0.5, 0.5), seed=0)
+    big.step([0.8] * 4, [2.4e9] * 4, 0.1)
+    little.step([0.8] * 4, [2.4e9] * 4, 0.1)
+    assert little.energy.dynamic_j < big.energy.dynamic_j
+
+
+def test_heterogeneous_simulation_completes_slower_than_homogeneous():
+    """Replacing two cores with LITTLE ones costs throughput."""
+    hom = Simulation([short_app("tachyon", iters=10, seed=3)], seed=1, max_time_s=4000)
+    hom_result = hom.run()
+    het = make_heterogeneous_simulation(
+        [short_app("tachyon", iters=10, seed=3)],
+        speed_factors=DEFAULT_SPEED_FACTORS,
+        seed=1,
+        max_time_s=4000,
+    )
+    het_result = het.run()
+    assert het_result.completed
+    assert het_result.total_time_s > hom_result.total_time_s
+
+
+def test_heterogeneous_under_manager():
+    manager = ProposedThermalManager(
+        default_agent_config(), default_reliability_config()
+    )
+    sim = make_heterogeneous_simulation(
+        [short_app("mpeg_dec", iters=25, seed=1)],
+        manager=manager,
+        seed=1,
+        max_time_s=8000,
+    )
+    result = sim.run()
+    assert result.completed
+    assert result.manager_stats["epochs"] > 3

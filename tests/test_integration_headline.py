@@ -1,0 +1,106 @@
+"""Integration tests for the paper's headline claims.
+
+These run moderately scaled simulations (half-length applications) and
+assert the qualitative results of the evaluation section: the proposed
+approach lowers temperature and improves both MTTF channels relative to
+Linux, and improves thermal cycling relative to the Ge & Qiu baseline.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_scenario, run_workload
+
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def tachyon_runs():
+    return {
+        policy: run_workload("tachyon", "set 2", policy, iteration_scale=SCALE)
+        for policy in ("linux", "ge", "proposed")
+    }
+
+
+@pytest.fixture(scope="module")
+def mpeg_runs():
+    return {
+        policy: run_workload("mpeg_dec", "clip 1", policy, iteration_scale=SCALE)
+        for policy in ("linux", "ge", "proposed")
+    }
+
+
+def test_proposed_reduces_average_temperature(tachyon_runs):
+    assert (
+        tachyon_runs["proposed"].average_temp_c
+        < tachyon_runs["linux"].average_temp_c - 2.0
+    )
+
+
+def test_proposed_reduces_peak_temperature(tachyon_runs):
+    assert tachyon_runs["proposed"].peak_temp_c <= tachyon_runs["linux"].peak_temp_c
+
+
+def test_proposed_improves_aging_mttf_over_linux(tachyon_runs):
+    assert (
+        tachyon_runs["proposed"].aging_mttf_years
+        > tachyon_runs["linux"].aging_mttf_years * 1.2
+    )
+
+
+def test_ge_improves_aging_over_linux(tachyon_runs):
+    """The baseline's known strength: instantaneous-temperature control."""
+    assert (
+        tachyon_runs["ge"].aging_mttf_years > tachyon_runs["linux"].aging_mttf_years
+    )
+
+
+def test_proposed_improves_cycling_mttf_over_linux(mpeg_runs):
+    assert (
+        mpeg_runs["proposed"].cycling_mttf_years
+        > mpeg_runs["linux"].cycling_mttf_years * 1.5
+    )
+
+
+def test_proposed_beats_ge_on_cycling(mpeg_runs):
+    """The headline differentiator: cycling-aware state/reward."""
+    assert (
+        mpeg_runs["proposed"].cycling_mttf_years
+        > mpeg_runs["ge"].cycling_mttf_years * 1.3
+    )
+
+
+def test_proposed_keeps_mpeg_performance_close_to_linux(mpeg_runs):
+    ratio = mpeg_runs["proposed"].execution_time_s / mpeg_runs["linux"].execution_time_s
+    assert ratio < 1.30  # the paper accepts bounded slowdowns
+
+
+def test_proposed_saves_dynamic_energy_vs_ge(tachyon_runs):
+    """Section 6.5: ~10% lower energy than the baseline."""
+    assert (
+        tachyon_runs["proposed"].dynamic_energy_j
+        < tachyon_runs["ge"].dynamic_energy_j * 1.1
+    )
+
+
+def test_proposed_reduces_leakage_energy_rate_vs_linux(tachyon_runs):
+    """Cooler silicon leaks less per unit time (Section 6.5)."""
+    linux = tachyon_runs["linux"]
+    proposed = tachyon_runs["proposed"]
+    linux_rate = linux.static_energy_j / linux.execution_time_s
+    proposed_rate = proposed.static_energy_j / proposed.execution_time_s
+    assert proposed_rate < linux_rate
+
+
+def test_inter_application_ordering():
+    """Figure 3's ordering: Linux < modified Ge & Qiu < proposed."""
+    runs = {
+        policy: run_scenario(
+            ("mpeg_dec", "tachyon"), policy, iteration_scale=SCALE
+        )
+        for policy in ("linux", "ge_modified", "proposed")
+    }
+    linux = runs["linux"].cycling_mttf_years
+    ge = runs["ge_modified"].cycling_mttf_years
+    proposed = runs["proposed"].cycling_mttf_years
+    assert ge > linux
+    assert proposed > ge

@@ -1,0 +1,90 @@
+"""Property-based tests of end-to-end simulation invariants."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_reliability_config
+from repro.soc.simulator import Simulation
+from repro.workloads.alpbench import APP_NAMES, make_application
+from repro.workloads.application import Application
+
+
+def tiny_app(name, seed, iters=6):
+    app = make_application(name, seed=seed)
+    return Application(replace(app.spec, iterations=iters), metric=app.metric, seed=seed)
+
+
+@given(
+    st.sampled_from(APP_NAMES),
+    st.integers(min_value=0, max_value=50),
+    st.sampled_from(["ondemand", "powersave", "performance", "conservative"]),
+)
+@settings(max_examples=12, deadline=None)
+def test_simulation_invariants(app_name, seed, governor):
+    """Any short run obeys the basic physical/accounting invariants."""
+    sim = Simulation(
+        [tiny_app(app_name, seed)], governor=governor, seed=seed, max_time_s=600.0
+    )
+    result = sim.run()
+    rel = default_reliability_config()
+
+    # Temperatures stay within the physically sane envelope.
+    profile = result.profile
+    if len(profile):
+        assert 25.0 < profile.average_temp_c() < 110.0
+        assert profile.peak_temp_c() < 125.0
+
+    # Energy accounting is non-negative and consistent.
+    assert result.energy.dynamic_j >= 0.0
+    assert result.energy.static_j > 0.0
+    assert result.energy.elapsed_s == pytest.approx(result.total_time_s, rel=1e-6)
+
+    # MTTFs never exceed the calibration anchor.
+    report = result.reliability(rel)
+    assert 0.0 < report["aging_mttf_years"] <= rel.baseline_mttf_years + 1e-9
+    assert 0.0 < report["cycling_mttf_years"] <= rel.baseline_mttf_years + 1e-9
+
+    # Records are time-ordered and within the run.
+    for record in result.app_records:
+        assert 0.0 <= record.start_s <= record.end_s <= result.total_time_s + 1e-6
+
+
+@given(st.integers(min_value=0, max_value=30))
+@settings(max_examples=8, deadline=None)
+def test_lower_frequency_never_uses_more_dynamic_energy(seed):
+    """For the same work, a lower fixed frequency costs less dynamic
+    energy (V^2 f scaling dominates the longer runtime)."""
+    def run(freq):
+        sim = Simulation(
+            [tiny_app("mpeg_dec", seed)],
+            governor="userspace",
+            userspace_frequency_hz=freq,
+            seed=seed,
+            max_time_s=2000.0,
+        )
+        result = sim.run()
+        assert result.completed
+        return result.app_records[0].dynamic_energy_j
+
+    assert run(2.0e9) < run(3.4e9)
+
+
+@given(st.integers(min_value=0, max_value=30))
+@settings(max_examples=8, deadline=None)
+def test_higher_frequency_never_slower(seed):
+    def run(freq):
+        sim = Simulation(
+            [tiny_app("tachyon", seed)],
+            governor="userspace",
+            userspace_frequency_hz=freq,
+            seed=seed,
+            max_time_s=2000.0,
+        )
+        result = sim.run()
+        assert result.completed
+        return result.app_records[0].execution_time_s
+
+    assert run(3.4e9) <= run(1.6e9)

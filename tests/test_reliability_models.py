@@ -1,0 +1,179 @@
+"""Tests for stress (Eq. 6), aging (Eq. 1), Coffin-Manson (Eq. 3) and
+Miner's rule (Eqs. 4-5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_reliability_config
+from repro.reliability.aging import aging_rate, mean_aging_rate, thermal_aging
+from repro.reliability.coffin_manson import cycles_to_failure
+from repro.reliability.miner import effective_cycles_to_failure, miner_mttf_seconds
+from repro.reliability.rainflow import ThermalCycle, count_cycles
+from repro.reliability.stress import cycle_stress, thermal_stress
+
+REL = default_reliability_config()
+
+
+def make_cycle(amplitude, max_c=55.0, count=1.0):
+    return ThermalCycle(amplitude_k=amplitude, mean_c=max_c - amplitude / 2, max_c=max_c, count=count)
+
+
+# ---------------------------------------------------------------------------
+# Stress (Eq. 6)
+# ---------------------------------------------------------------------------
+
+
+def test_elastic_cycle_has_zero_stress():
+    cycle = make_cycle(REL.elastic_threshold_k * 0.9)
+    assert cycle_stress(cycle, REL) == 0.0
+
+
+def test_stress_grows_with_amplitude():
+    small = cycle_stress(make_cycle(5.0), REL)
+    large = cycle_stress(make_cycle(10.0), REL)
+    assert large > small > 0.0
+
+
+def test_stress_grows_with_max_temperature():
+    cold = cycle_stress(make_cycle(10.0, max_c=40.0), REL)
+    hot = cycle_stress(make_cycle(10.0, max_c=80.0), REL)
+    assert hot > cold
+
+
+def test_half_cycle_counts_half_stress():
+    full = cycle_stress(make_cycle(10.0, count=1.0), REL)
+    half = cycle_stress(make_cycle(10.0, count=0.5), REL)
+    assert half == pytest.approx(full / 2)
+
+
+def test_thermal_stress_accepts_series_or_cycles():
+    series = [40.0, 50.0] * 10 + [40.0]
+    from_series = thermal_stress(series, REL)
+    from_cycles = thermal_stress(count_cycles(series), REL)
+    assert from_series == pytest.approx(from_cycles)
+    assert from_series > 0.0
+
+
+def test_thermal_stress_of_constant_series_is_zero():
+    assert thermal_stress([45.0] * 50, REL) == 0.0
+
+
+@given(st.floats(min_value=0.0, max_value=60.0), st.floats(min_value=30.0, max_value=100.0))
+@settings(max_examples=100, deadline=None)
+def test_stress_nonnegative(amplitude, max_c):
+    assert cycle_stress(make_cycle(amplitude, max_c=max_c), REL) >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Aging (Eq. 1)
+# ---------------------------------------------------------------------------
+
+
+def test_aging_rate_is_one_at_reference():
+    assert aging_rate(REL.reference_temp_c, REL) == pytest.approx(1.0)
+
+
+def test_aging_rate_monotone_in_temperature():
+    rates = [aging_rate(t, REL) for t in (30.0, 40.0, 50.0, 60.0, 70.0)]
+    assert all(b > a for a, b in zip(rates, rates[1:]))
+
+
+def test_aging_rate_arrhenius_magnitude():
+    # With Ea = 0.7 eV the rate roughly doubles every ~8-10 K near 40 C.
+    ratio = aging_rate(44.0, REL) / aging_rate(35.0, REL)
+    assert 1.5 < ratio < 3.5
+
+
+def test_mean_aging_rate_weights_hot_samples():
+    steady = mean_aging_rate([50.0] * 10, REL)
+    spiky = mean_aging_rate([40.0] * 9 + [80.0], REL)
+    assert spiky > mean_aging_rate([44.0] * 10, REL)
+    assert steady > 1.0
+
+
+def test_mean_aging_rate_of_empty_profile():
+    assert mean_aging_rate([], REL) == 1.0
+
+
+def test_thermal_aging_scales_with_anchor():
+    a1 = thermal_aging([50.0] * 10, REL, alpha_ref_seconds=1e8)
+    a2 = thermal_aging([50.0] * 10, REL, alpha_ref_seconds=2e8)
+    assert a1 == pytest.approx(2 * a2)
+
+
+# ---------------------------------------------------------------------------
+# Coffin-Manson (Eq. 3) and Miner (Eqs. 4-5)
+# ---------------------------------------------------------------------------
+
+
+def test_cycles_to_failure_infinite_for_elastic():
+    assert math.isinf(cycles_to_failure(make_cycle(0.5), REL))
+
+
+def test_cycles_to_failure_decreases_with_amplitude():
+    n_small = cycles_to_failure(make_cycle(5.0), REL)
+    n_large = cycles_to_failure(make_cycle(15.0), REL)
+    assert n_large < n_small
+
+
+def test_cycles_to_failure_decreases_with_temperature():
+    n_cold = cycles_to_failure(make_cycle(10.0, max_c=40.0), REL)
+    n_hot = cycles_to_failure(make_cycle(10.0, max_c=80.0), REL)
+    assert n_hot < n_cold
+
+
+def test_miner_harmonic_mean_between_extremes():
+    cycles = [make_cycle(5.0), make_cycle(15.0)]
+    n_eff = effective_cycles_to_failure(cycles, REL)
+    n_vals = [cycles_to_failure(c, REL) for c in cycles]
+    assert min(n_vals) <= n_eff <= max(n_vals)
+    # The harmonic mean leans toward the damaging cycle.
+    assert n_eff < sum(n_vals) / 2
+
+
+def test_miner_all_elastic_is_infinite():
+    cycles = [make_cycle(0.5), make_cycle(0.8)]
+    assert math.isinf(effective_cycles_to_failure(cycles, REL))
+    assert math.isinf(miner_mttf_seconds(cycles, 100.0, REL))
+
+
+def test_miner_mttf_scales_with_observation_time():
+    cycles = [make_cycle(10.0) for _ in range(10)]
+    short = miner_mttf_seconds(cycles, 100.0, REL)
+    long = miner_mttf_seconds(cycles, 200.0, REL)
+    assert long == pytest.approx(2 * short)
+
+
+def test_miner_equals_collapsed_form():
+    """Eqs. 3-5 collapse to MTTF = ATC * time / stress (Section 4.2)."""
+    from repro.reliability.mttf import resolved_atc
+
+    cycles = [make_cycle(8.0), make_cycle(12.0, max_c=70.0), make_cycle(4.0, count=0.5)]
+    total_time = 300.0
+    mttf = miner_mttf_seconds(cycles, total_time, REL)
+    stress = thermal_stress(cycles, REL)
+    assert mttf == pytest.approx(resolved_atc(REL) * total_time / stress)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=3.0, max_value=40.0),
+            st.floats(min_value=35.0, max_value=95.0),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_miner_identity_property(cycle_specs):
+    """The Miner/collapsed-form identity holds for arbitrary cycles."""
+    from repro.reliability.mttf import resolved_atc
+
+    cycles = [make_cycle(a, max_c=t) for a, t in cycle_specs]
+    mttf = miner_mttf_seconds(cycles, 500.0, REL)
+    stress = thermal_stress(cycles, REL)
+    assert mttf == pytest.approx(resolved_atc(REL) * 500.0 / stress, rel=1e-9)

@@ -1,0 +1,79 @@
+"""Tests for affinity masks and the mapping presets."""
+
+import pytest
+
+from repro.sched.affinity import (
+    MAPPING_ORDER,
+    MAPPING_PRESETS,
+    AffinityMapping,
+    mapping_by_name,
+)
+
+
+def test_os_default_allows_everything():
+    mapping = AffinityMapping.os_default(6)
+    assert mapping.num_threads == 6
+    assert all(mapping.allows(t, c) for t in range(6) for c in range(4))
+
+
+def test_from_assignment_pins_each_thread():
+    mapping = AffinityMapping.from_assignment("m", [0, 0, 1, 1, 2, 3])
+    assert mapping.allows(0, 0)
+    assert not mapping.allows(0, 1)
+    assert mapping.allows(5, 3)
+
+
+def test_validate_rejects_out_of_range():
+    mapping = AffinityMapping.from_assignment("m", [0, 5])
+    with pytest.raises(ValueError):
+        mapping.validate(num_cores=4)
+
+
+def test_validate_rejects_empty_mask():
+    mapping = AffinityMapping("m", (frozenset(),))
+    with pytest.raises(ValueError):
+        mapping.validate(num_cores=4)
+
+
+def test_all_presets_valid_for_quad_core():
+    for name, mapping in MAPPING_PRESETS.items():
+        mapping.validate(num_cores=4)
+        assert mapping.num_threads == 6, name
+
+
+def test_paired_2211_shape():
+    """The motivational experiment's assignment: 2-2-1-1 threads/core."""
+    mapping = MAPPING_PRESETS["paired_2211"]
+    counts = {c: 0 for c in range(4)}
+    for tid in range(6):
+        for core in range(4):
+            if mapping.allows(tid, core):
+                counts[core] += 1
+    assert sorted(counts.values(), reverse=True) == [2, 2, 1, 1]
+
+
+def test_cluster_2_uses_two_cores():
+    mapping = MAPPING_PRESETS["cluster_2"]
+    used = {c for tid in range(6) for c in range(4) if mapping.allows(tid, c)}
+    assert used == {0, 1}
+
+
+def test_half_split_masks_are_multicore():
+    mapping = MAPPING_PRESETS["half_split"]
+    assert mapping.mask_for(0) == frozenset({0, 1})
+    assert mapping.mask_for(5) == frozenset({2, 3})
+
+
+def test_mapping_order_covers_known_presets():
+    assert set(MAPPING_ORDER) == set(MAPPING_PRESETS)
+
+
+def test_mapping_by_name_unknown():
+    with pytest.raises(KeyError):
+        mapping_by_name("nope")
+
+
+def test_mapping_by_name_other_thread_count():
+    mapping = mapping_by_name("spread_rr", num_threads=8)
+    assert mapping.num_threads == 8
+    mapping.validate(num_cores=4)

@@ -1,0 +1,121 @@
+"""Tests for the cpufreq governor models."""
+
+import pytest
+
+from repro.sched.governors import (
+    ConservativeGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+    make_governor,
+)
+
+
+def test_performance_pins_max(ladder):
+    gov = PerformanceGovernor(ladder, 4)
+    assert gov.update([0.0] * 4) == [3.4e9] * 4
+
+
+def test_powersave_pins_min(ladder):
+    gov = PowersaveGovernor(ladder, 4)
+    assert gov.update([1.0] * 4) == [1.6e9] * 4
+
+
+def test_userspace_snaps_to_opp(ladder):
+    gov = UserspaceGovernor(ladder, 4, 2.5e9)
+    assert gov.target_frequency_hz == 2.4e9
+    assert gov.update([0.5] * 4) == [2.4e9] * 4
+    assert "userspace@2.4GHz" == gov.name
+
+
+def test_ondemand_jumps_to_max_when_busy(ladder):
+    gov = OndemandGovernor(ladder, 4)
+    freqs = gov.update([1.0, 0.9, 0.85, 0.95])
+    assert freqs == [3.4e9] * 4
+
+
+def test_ondemand_scales_down_when_idle(ladder):
+    gov = OndemandGovernor(ladder, 4)
+    gov.update([1.0] * 4)  # go to max
+    freqs = gov.update([0.1] * 4)
+    assert all(f < 3.4e9 for f in freqs)
+
+
+def test_ondemand_keeps_util_below_threshold(ladder):
+    """The chosen frequency projects utilisation under the threshold."""
+    gov = OndemandGovernor(ladder, 1, up_threshold=0.8)
+    gov.update([1.0])
+    freqs = gov.update([0.5])
+    demand_hz = 0.5 * 3.4e9
+    assert freqs[0] >= demand_hz / 0.8 or freqs[0] == 3.4e9
+
+
+def test_ondemand_per_core_independent(ladder):
+    gov = OndemandGovernor(ladder, 2)
+    freqs = gov.update([1.0, 0.0])
+    assert freqs[0] == 3.4e9
+    assert freqs[1] == 1.6e9
+
+
+def test_conservative_steps_one_rung(ladder):
+    gov = ConservativeGovernor(ladder, 1)
+    first = gov.update([1.0])[0]
+    second = gov.update([1.0])[0]
+    assert first == 2.0e9  # one rung up from 1.6
+    assert second == 2.4e9
+
+
+def test_conservative_steps_down(ladder):
+    gov = ConservativeGovernor(ladder, 1)
+    for _ in range(10):
+        gov.update([1.0])
+    assert gov.frequencies()[0] == 3.4e9
+    down = gov.update([0.1])[0]
+    assert down == 3.2e9
+
+
+def test_conservative_holds_in_band(ladder):
+    gov = ConservativeGovernor(ladder, 1)
+    gov.update([1.0])
+    held = gov.update([0.5])[0]
+    assert held == 2.0e9
+
+
+def test_conservative_threshold_validation(ladder):
+    with pytest.raises(ValueError):
+        ConservativeGovernor(ladder, 1, up_threshold=0.3, down_threshold=0.5)
+
+
+def test_make_governor_factory(ladder):
+    assert make_governor("ondemand", ladder, 4).name == "ondemand"
+    assert make_governor("performance", ladder, 4).name == "performance"
+    assert make_governor("powersave", ladder, 4).name == "powersave"
+    assert make_governor("conservative", ladder, 4).name == "conservative"
+    gov = make_governor("userspace", ladder, 4, 2.0e9)
+    assert gov.target_frequency_hz == 2.0e9
+
+
+def test_make_governor_userspace_needs_frequency(ladder):
+    with pytest.raises(ValueError):
+        make_governor("userspace", ladder, 4)
+
+
+def test_make_governor_unknown(ladder):
+    with pytest.raises(KeyError):
+        make_governor("turbo", ladder, 4)
+
+
+def test_governor_frequencies_always_on_ladder(ladder):
+    gov = OndemandGovernor(ladder, 4)
+    valid = set(ladder.frequencies())
+    for utils in ([0.1] * 4, [0.5] * 4, [0.9] * 4, [1.0, 0.0, 0.3, 0.7]):
+        for f in gov.update(utils):
+            assert f in valid
+
+
+def test_governor_reset(ladder):
+    gov = OndemandGovernor(ladder, 2)
+    gov.update([1.0, 1.0])
+    gov.reset()
+    assert gov.frequencies() == [1.6e9] * 2

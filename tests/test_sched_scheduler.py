@@ -1,0 +1,195 @@
+"""Tests for the load-balancing scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.sched.affinity import AffinityMapping, mapping_by_name
+from repro.sched.perf import PerfCounters
+from repro.sched.scheduler import Scheduler
+from repro.workloads.thread_model import SimThread, ThreadPhase, WorkloadSpec
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        name="t",
+        dataset="d",
+        num_threads=6,
+        work_cycles=1e9,
+        work_jitter_sigma=0.0,
+        activity_high=0.8,
+        activity_low=0.05,
+        sync_time_s=1.0,
+        iterations=100,
+        performance_constraint=0.1,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+def make_threads(num=6, **overrides):
+    spec = make_spec(num_threads=num, **overrides)
+    rng = np.random.default_rng(0)
+    return [SimThread(spec, tid, rng) for tid in range(num)]
+
+
+FREQS = [2.0e9] * 4
+
+
+def test_initial_placement_balances():
+    sched = Scheduler(4)
+    sched.set_threads(make_threads(6))
+    sched.tick(FREQS, 0.1)
+    counts = sched.runnable_counts()
+    assert sum(counts) == 6
+    assert max(counts) - min(counts) <= 1
+
+
+def test_affinity_always_honoured():
+    sched = Scheduler(4)
+    threads = make_threads(6)
+    mapping = mapping_by_name("cluster_2")
+    sched.set_threads(threads, mapping=mapping)
+    for _ in range(50):
+        sched.tick(FREQS, 0.1)
+        for thread in threads:
+            core = sched.core_of(thread)
+            assert core is not None
+            assert mapping.allows(thread.thread_id, core)
+
+
+def test_set_mapping_migrates_violators():
+    sched = Scheduler(4, perf=PerfCounters())
+    threads = make_threads(6)
+    sched.set_threads(threads)
+    sched.tick(FREQS, 0.1)
+    sched.set_mapping(mapping_by_name("cluster_2"))
+    for thread in threads:
+        assert sched.core_of(thread) in (0, 1)
+    assert sched.perf.migrations > 0
+
+
+def test_mapping_too_small_rejected():
+    sched = Scheduler(4)
+    sched.set_threads(make_threads(6))
+    small = AffinityMapping.from_assignment("m", [0, 1])
+    with pytest.raises(ValueError):
+        sched.set_mapping(small)
+
+
+def test_execution_progresses_threads():
+    sched = Scheduler(4)
+    threads = make_threads(4, work_cycles=1e8)
+    sched.set_threads(threads)
+    sched.tick([2.0e9] * 4, 0.1)
+    # 2e9 Hz * 0.1 s = 2e8 cycles > 1e8: every solo thread finished.
+    assert all(t.phase is ThreadPhase.BARRIER for t in threads)
+
+
+def test_timesharing_splits_cycles():
+    sched = Scheduler(4)
+    threads = make_threads(2, work_cycles=1e9)
+    mapping = AffinityMapping.from_assignment("same", [0, 0])
+    sched.set_threads(threads, mapping=mapping)
+    sched.tick(FREQS, 0.1)
+    executed = 1e9 - threads[0].remaining_cycles
+    assert executed == pytest.approx(2.0e9 * 0.1 / 2)
+
+
+def test_core_load_fields():
+    sched = Scheduler(4)
+    sched.set_threads(make_threads(6))
+    loads = sched.tick(FREQS, 0.1)
+    assert len(loads) == 4
+    for load in loads:
+        assert 0.0 <= load.utilisation <= 1.0
+        assert 0.0 <= load.activity <= 1.0
+    busy = [l for l in loads if l.num_runnable > 0]
+    assert busy and all(l.activity > 0.5 for l in busy)
+
+
+def test_idle_cores_have_low_activity():
+    sched = Scheduler(4)
+    sched.set_threads(make_threads(1))
+    loads = sched.tick(FREQS, 0.1)
+    idle = [l for l in loads if l.num_runnable == 0]
+    assert len(idle) == 3
+    assert all(l.activity <= 0.1 for l in idle)
+
+
+def test_stall_consumes_cpu_time():
+    sched = Scheduler(4)
+    threads = make_threads(4, work_cycles=1e12)
+    sched.set_threads(threads)
+    sched.tick(FREQS, 0.1)
+    before = threads[0].remaining_cycles
+    sched.stall_all(0.05)
+    sched.tick(FREQS, 0.1)
+    executed = before - threads[0].remaining_cycles
+    assert executed == pytest.approx(2.0e9 * 0.05, rel=0.01)
+
+
+def test_stall_rejects_negative():
+    sched = Scheduler(4)
+    with pytest.raises(ValueError):
+        sched.stall_all(-1.0)
+
+
+def test_idle_pull_fills_idle_core():
+    """After the pull delay an idle core steals from a loaded core."""
+    sched = Scheduler(4, idle_pull_delay_s=0.3)
+    threads = make_threads(6, work_cycles=1e13)
+    # Start everything clustered so two cores are idle.
+    sched.set_threads(threads, mapping=mapping_by_name("cluster_2"))
+    sched.tick(FREQS, 0.1)
+    sched.set_mapping(None)  # release the pin; threads stay put initially
+    for _ in range(10):
+        sched.tick(FREQS, 0.1)
+    counts = sched.runnable_counts()
+    assert max(counts) - min(counts) <= 1
+
+
+def test_rebalance_periodic():
+    sched = Scheduler(4, rebalance_period_s=0.5)
+    threads = make_threads(6, work_cycles=1e13)
+    sched.set_threads(threads, mapping=mapping_by_name("cluster_2"))
+    sched.set_mapping(None)
+    for _ in range(20):
+        sched.tick(FREQS, 0.1)
+    assert max(sched.runnable_counts()) <= 2
+
+
+def test_migration_counted():
+    perf = PerfCounters()
+    sched = Scheduler(4, perf=perf)
+    threads = make_threads(6, work_cycles=1e13)
+    sched.set_threads(threads, mapping=mapping_by_name("cluster_2"))
+    sched.tick(FREQS, 0.1)
+    sched.set_mapping(mapping_by_name("spread_rr"))
+    assert perf.migrations >= 2
+
+
+def test_done_threads_release_cores():
+    sched = Scheduler(4)
+    threads = make_threads(4, work_cycles=1e6, iterations=1, sync_time_s=0.0)
+    sched.set_threads(threads)
+    from repro.workloads.application import Application
+
+    # Drive threads to completion manually.
+    for thread in threads:
+        thread.execute(1e7)
+        thread.release_barrier()
+        thread.finish_sync()
+    assert all(t.done for t in threads)
+    loads = sched.tick(FREQS, 0.1)
+    assert all(l.num_runnable == 0 for l in loads)
+
+
+def test_validates_inputs():
+    sched = Scheduler(4)
+    sched.set_threads(make_threads(2))
+    with pytest.raises(ValueError):
+        sched.tick([1e9, 1e9], 0.1)  # wrong width
+    with pytest.raises(ValueError):
+        sched.tick(FREQS, 0.0)
+    with pytest.raises(ValueError):
+        Scheduler(0)

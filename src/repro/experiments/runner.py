@@ -15,9 +15,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import (
     AgentConfig,
+    FaultConfig,
     GeQiuConfig,
     PlatformConfig,
     ReliabilityConfig,
+    SupervisorConfig,
     default_agent_config,
     default_reliability_config,
 )
@@ -71,6 +73,10 @@ class RunSummary:
     migrations: int
     completed: bool
     manager_stats: Dict[str, float] = field(default_factory=dict)
+    #: Injected-fault counters (empty without a fault model).
+    fault_stats: Dict[str, float] = field(default_factory=dict)
+    #: Supervisor counters (empty without the supervision layer).
+    supervisor_stats: Dict[str, float] = field(default_factory=dict)
     #: The measurement-window thermal profile, for trace figures.
     profile: Optional[ThermalProfile] = None
 
@@ -170,6 +176,8 @@ def _summarise(
         migrations=result.perf.migrations,
         completed=all(r.completed for r in records),
         manager_stats=dict(result.manager_stats),
+        fault_stats=dict(result.fault_stats),
+        supervisor_stats=dict(result.supervisor_stats),
         profile=window,
     )
 
@@ -188,6 +196,8 @@ def run_workload(
     mapping: Optional[AffinityMapping] = None,
     iteration_scale: float = 1.0,
     max_time_s: float = 20000.0,
+    faults: Optional[FaultConfig] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> RunSummary:
     """Run one application under one policy (train + measure).
 
@@ -215,6 +225,10 @@ def run_workload(
         Scale on the application's iteration count (shorter sweeps).
     max_time_s:
         Safety limit for the whole simulation.
+    faults / supervisor:
+        Optional fault model and graceful-degradation layer (see
+        :mod:`repro.faults`); both default to off, leaving the run
+        bit-identical to the fault-free engine.
     """
     reliability = (
         reliability if reliability is not None else default_reliability_config()
@@ -237,6 +251,8 @@ def run_workload(
         manager=manager,
         seed=seed,
         max_time_s=max_time_s,
+        faults=faults,
+        supervisor=supervisor,
     )
     result = sim.run()
     measured = result.app_records[train_passes:]
@@ -281,6 +297,8 @@ def run_scenario(
     ge_config: Optional[GeQiuConfig] = None,
     iteration_scale: float = 1.0,
     max_time_s: float = 30000.0,
+    faults: Optional[FaultConfig] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> RunSummary:
     """Run an inter-application scenario (Figure 3).
 
@@ -306,6 +324,8 @@ def run_scenario(
         manager=manager,
         seed=seed,
         max_time_s=max_time_s,
+        faults=faults,
+        supervisor=supervisor,
     )
     result = sim.run()
     window = result.profile.window(WARMUP_SKIP_S, result.total_time_s)

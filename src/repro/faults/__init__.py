@@ -1,0 +1,49 @@
+"""Fault injection and graceful degradation for the DTM loop.
+
+The paper's controllers run on a physical substrate — ``coretemp``
+sensors, the ``cpufreq`` interface, affinity syscalls — every part of
+which can fail.  This package adds (1) a seeded, deterministic
+:class:`FaultInjector` that perturbs the sensor and actuation paths of
+:class:`repro.soc.simulator.Simulation`, and (2) a supervision layer
+(:class:`SensorSupervisor`, :class:`ActuationSupervisor`) that keeps the
+observe/decide/actuate loop well-defined under those faults.  Both are
+opt-in: without a :class:`repro.config.FaultConfig` /
+:class:`repro.config.SupervisorConfig`, simulations are bit-identical
+to the pre-existing fault-free engine.
+"""
+
+from repro.config import FaultConfig, SupervisorConfig
+from repro.faults.injector import (
+    OUTCOME_FAIL,
+    OUTCOME_NOOP,
+    OUTCOME_OK,
+    FaultInjectionStats,
+    FaultInjector,
+)
+from repro.faults.presets import (
+    FAULT_MODES,
+    actuation_fault_config,
+    combined_fault_config,
+    default_supervisor_config,
+    fault_config_for,
+    sensor_fault_config,
+)
+from repro.faults.supervisor import ActuationSupervisor, SensorSupervisor
+
+__all__ = [
+    "FAULT_MODES",
+    "ActuationSupervisor",
+    "FaultConfig",
+    "FaultInjectionStats",
+    "FaultInjector",
+    "OUTCOME_FAIL",
+    "OUTCOME_NOOP",
+    "OUTCOME_OK",
+    "SensorSupervisor",
+    "SupervisorConfig",
+    "actuation_fault_config",
+    "combined_fault_config",
+    "default_supervisor_config",
+    "fault_config_for",
+    "sensor_fault_config",
+]

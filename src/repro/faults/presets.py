@@ -1,0 +1,84 @@
+"""Canonical fault scenarios used by experiments, examples and the CLI.
+
+Three named fault modes cover the evaluation grid of the fault-tolerance
+experiment: ``sensor`` (glitchy coretemp path), ``actuation`` (flaky
+cpufreq/affinity interface) and ``both``.  ``none`` maps to no fault
+model at all, so fault-free runs stay bit-identical to a simulation
+without the robustness layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.config import FaultConfig, SupervisorConfig
+
+#: Names accepted by :func:`fault_config_for`.
+FAULT_MODES: Tuple[str, ...] = ("none", "sensor", "actuation", "both")
+
+
+def sensor_fault_config() -> FaultConfig:
+    """A glitchy sensor path: dropouts, spikes, latching, miscalibration."""
+    return FaultConfig(
+        enabled=True,
+        dropout_prob=0.05,
+        spike_prob=0.03,
+        spike_magnitude_c=35.0,
+        stuck_prob=0.01,
+        stuck_duration_s=20.0,
+        offset_c=(1.5, -1.0, 0.5, 0.0),
+    )
+
+
+def actuation_fault_config() -> FaultConfig:
+    """A flaky actuation path: rejected and silently ignored transitions."""
+    return FaultConfig(
+        enabled=True,
+        governor_fail_prob=0.25,
+        governor_noop_prob=0.15,
+        mapping_fail_prob=0.25,
+        mapping_noop_prob=0.15,
+    )
+
+
+def combined_fault_config() -> FaultConfig:
+    """Sensor and actuation faults together."""
+    sensor = sensor_fault_config()
+    actuation = actuation_fault_config()
+    return FaultConfig(
+        enabled=True,
+        dropout_prob=sensor.dropout_prob,
+        spike_prob=sensor.spike_prob,
+        spike_magnitude_c=sensor.spike_magnitude_c,
+        stuck_prob=sensor.stuck_prob,
+        stuck_duration_s=sensor.stuck_duration_s,
+        offset_c=sensor.offset_c,
+        governor_fail_prob=actuation.governor_fail_prob,
+        governor_noop_prob=actuation.governor_noop_prob,
+        mapping_fail_prob=actuation.mapping_fail_prob,
+        mapping_noop_prob=actuation.mapping_noop_prob,
+    )
+
+
+def fault_config_for(mode: str) -> Optional[FaultConfig]:
+    """The :class:`FaultConfig` of a named fault mode (None for ``none``).
+
+    Raises
+    ------
+    ValueError
+        For an unknown mode name.
+    """
+    if mode == "none":
+        return None
+    if mode == "sensor":
+        return sensor_fault_config()
+    if mode == "actuation":
+        return actuation_fault_config()
+    if mode == "both":
+        return combined_fault_config()
+    raise ValueError(f"unknown fault mode {mode!r}; expected one of {FAULT_MODES}")
+
+
+def default_supervisor_config() -> SupervisorConfig:
+    """The supervision policy the fault-tolerance experiment enables."""
+    return SupervisorConfig(enabled=True)

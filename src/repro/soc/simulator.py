@@ -26,10 +26,17 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.config import PlatformConfig, ReliabilityConfig
+from repro.config import (
+    FaultConfig,
+    PlatformConfig,
+    ReliabilityConfig,
+    SupervisorConfig,
+)
+from repro.faults.injector import OUTCOME_FAIL, OUTCOME_NOOP, FaultInjector
+from repro.faults.supervisor import ActuationSupervisor, SensorSupervisor
 from repro.power.energy import EnergyMeter
 from repro.sched.affinity import AffinityMapping
-from repro.sched.governors import Governor, make_governor
+from repro.sched.governors import Governor, UserspaceGovernor, make_governor
 from repro.sched.perf import PerfCounters
 from repro.sched.scheduler import Scheduler
 from repro.soc.chip import Chip
@@ -41,6 +48,15 @@ from repro.workloads.application import Application
 SAMPLE_OVERHEAD_S = 0.005
 #: CPU time stolen from every core by one learning-decision event.
 DECISION_OVERHEAD_S = 0.025
+
+#: Governor names ``Simulation.set_governor`` accepts (cpufreq's menu).
+KNOWN_GOVERNORS = (
+    "ondemand",
+    "conservative",
+    "performance",
+    "powersave",
+    "userspace",
+)
 
 
 class ThermalManagerBase:
@@ -104,6 +120,10 @@ class SimulationResult:
     total_time_s: float
     completed: bool
     manager_stats: Dict[str, float] = field(default_factory=dict)
+    #: Injected-fault counters (empty when no fault model was active).
+    fault_stats: Dict[str, float] = field(default_factory=dict)
+    #: Supervisor counters (empty when the loop ran unsupervised).
+    supervisor_stats: Dict[str, float] = field(default_factory=dict)
 
     def reliability(self, config: ReliabilityConfig) -> Dict[str, float]:
         """Worst-core reliability summary of the whole run."""
@@ -143,6 +163,15 @@ class Simulation:
         Safety limit; a run that hits it is marked incomplete.
     warm_start:
         Start from the idle steady state instead of ambient.
+    faults:
+        Optional fault model (see :mod:`repro.faults`).  ``None`` — or a
+        config with ``enabled=False`` — means no injector is built and
+        the run is bit-identical to one on the fault-free engine.
+    supervisor:
+        Optional graceful-degradation layer.  When enabled, manager
+        sensor readings are sanitised before they are returned and
+        governor/mapping requests are verified, retried and backed by a
+        thermal-emergency safe state.
     """
 
     def __init__(
@@ -157,6 +186,8 @@ class Simulation:
         eval_sample_period_s: float = 1.0,
         max_time_s: Optional[float] = None,
         warm_start: bool = True,
+        faults: Optional[FaultConfig] = None,
+        supervisor: Optional[SupervisorConfig] = None,
     ) -> None:
         if not applications:
             raise ValueError("need at least one application")
@@ -192,6 +223,25 @@ class Simulation:
         self._profile = ThermalProfile(self.platform.num_cores, eval_sample_period_s)
         self._next_eval_s = eval_sample_period_s
         self._app_switched_flag = False
+        self.faults = faults
+        self.supervisor = supervisor
+        self._fault_injector: Optional[FaultInjector] = None
+        if faults is not None and faults.enabled:
+            self._fault_injector = FaultInjector(
+                faults, self.platform.num_cores, seed=seed
+            )
+        self._sensor_supervisor: Optional[SensorSupervisor] = None
+        self._actuation_supervisor: Optional[ActuationSupervisor] = None
+        self._next_watchdog_s = 0.0
+        self._pre_emergency_governor: Optional[Governor] = None
+        if supervisor is not None and supervisor.enabled:
+            self._sensor_supervisor = SensorSupervisor(
+                supervisor, self.platform.sensor, self.platform.num_cores
+            )
+            self._actuation_supervisor = ActuationSupervisor(
+                supervisor, self._sensor_supervisor
+            )
+            self._next_watchdog_s = supervisor.watchdog_period_s
         if warm_start:
             self.chip.warm_start_idle()
 
@@ -215,15 +265,83 @@ class Simulation:
         return self._mapping
 
     def read_sensors(self) -> np.ndarray:
-        """Sample the on-board sensors (the manager's observation)."""
+        """Sample the on-board sensors (the manager's observation).
+
+        With a fault model active the clean sensor reading is perturbed
+        (offsets, drift, stuck-at, spikes, NaN dropouts); with the
+        supervisor active the — possibly faulted — reading is sanitised
+        before any controller sees it.
+        """
         self.perf.record_sample_event()
         self.scheduler.stall_all(SAMPLE_OVERHEAD_S)
-        return self._manager_sensors.read(self.chip.core_temps_c())
+        readings = self._manager_sensors.read(self.chip.core_temps_c())
+        if self._fault_injector is not None:
+            readings = self._fault_injector.perturb_sensors(self.now, readings)
+        if self._sensor_supervisor is not None:
+            readings = self._sensor_supervisor.filter(self.now, readings)
+        return readings
 
     def set_governor(
         self, name: str, userspace_frequency_hz: Optional[float] = None
     ) -> None:
-        """Switch the cpufreq governor (``cpufreq-set -g``)."""
+        """Switch the cpufreq governor (``cpufreq-set -g``).
+
+        Raises
+        ------
+        ValueError
+            For an unknown governor name, or ``userspace`` without a
+            frequency.  Argument validation happens before the fault
+            model: an invalid request is a caller bug, not a transient
+            platform failure.
+        """
+        if name not in KNOWN_GOVERNORS:
+            raise ValueError(
+                f"unknown governor {name!r}; expected one of {KNOWN_GOVERNORS}"
+            )
+        if name == "userspace" and userspace_frequency_hz is None:
+            raise ValueError("userspace governor needs an explicit frequency")
+        if self._actuation_supervisor is not None:
+            self._actuation_supervisor.request_governor(
+                self, name, userspace_frequency_hz
+            )
+            return
+        self._actuate_governor(name, userspace_frequency_hz)
+
+    def set_mapping(self, mapping: Optional[AffinityMapping]) -> None:
+        """Apply affinity masks (``pthread_setaffinity_np``).
+
+        Raises
+        ------
+        ValueError
+            If the mapping references cores outside the platform.
+        """
+        if mapping is not None:
+            mapping.validate(self.platform.num_cores)
+        if self._actuation_supervisor is not None:
+            self._actuation_supervisor.request_mapping(self, mapping)
+            return
+        self._actuate_mapping(mapping)
+
+    # ------------------------------------------------------------------
+    # Actuation internals (fault-model aware)
+    # ------------------------------------------------------------------
+
+    def _actuate_governor(
+        self, name: str, userspace_frequency_hz: Optional[float]
+    ) -> bool:
+        """Perform one governor transition through the faultable path.
+
+        Returns False when the platform *reports* the transition failed
+        (the analogue of a non-zero ``cpufreq-set`` exit status).  A
+        silent no-op returns True without changing anything — only
+        reading the state back (:meth:`governor_in_force`) can catch it.
+        """
+        if self._fault_injector is not None:
+            outcome = self._fault_injector.governor_outcome()
+            if outcome == OUTCOME_FAIL:
+                return False
+            if outcome == OUTCOME_NOOP:
+                return True
         current = self._governor
         self._governor = make_governor(
             name, self.chip.ladder, self.platform.num_cores, userspace_frequency_hz
@@ -232,11 +350,56 @@ class Simulation:
         # so a governor switch does not teleport the clock.
         if name in ("ondemand", "conservative"):
             self._governor._frequencies = current.frequencies()
+        return True
 
-    def set_mapping(self, mapping: Optional[AffinityMapping]) -> None:
-        """Apply affinity masks (``pthread_setaffinity_np``)."""
+    def _actuate_mapping(self, mapping: Optional[AffinityMapping]) -> bool:
+        """Perform one affinity change through the faultable path."""
+        if self._fault_injector is not None:
+            outcome = self._fault_injector.mapping_outcome()
+            if outcome == OUTCOME_FAIL:
+                return False
+            if outcome == OUTCOME_NOOP:
+                return True
         self._mapping = mapping
         self.scheduler.set_mapping(mapping)
+        return True
+
+    def governor_in_force(
+        self, name: str, userspace_frequency_hz: Optional[float] = None
+    ) -> bool:
+        """Whether the active governor matches a requested transition."""
+        governor = self._governor
+        if name == "userspace":
+            if not isinstance(governor, UserspaceGovernor):
+                return False
+            if userspace_frequency_hz is None:
+                return True
+            target = self.chip.ladder.nearest(userspace_frequency_hz).frequency_hz
+            return abs(governor.target_frequency_hz - target) < 1.0
+        return governor.name == name
+
+    def mapping_in_force(self, mapping: Optional[AffinityMapping]) -> bool:
+        """Whether the active mapping is the requested one."""
+        return self._mapping is mapping
+
+    def _engage_thermal_emergency(self) -> None:
+        """Clamp the chip to the minimum operating point.
+
+        Models hardware thermal protection (PROCHOT): the clamp acts
+        below the software cpufreq path, so it is immune to the
+        injected actuation faults.
+        """
+        if self._pre_emergency_governor is None:
+            self._pre_emergency_governor = self._governor
+        self._governor = make_governor(
+            "powersave", self.chip.ladder, self.platform.num_cores
+        )
+
+    def _release_thermal_emergency(self) -> None:
+        """Lift the clamp and restore the pre-emergency governor."""
+        if self._pre_emergency_governor is not None:
+            self._governor = self._pre_emergency_governor
+            self._pre_emergency_governor = None
 
     def charge_decision_overhead(self) -> None:
         """Charge one learning-decision event's CPU cost."""
@@ -294,8 +457,30 @@ class Simulation:
         if self.manager is not None:
             self.manager.on_tick(self)
 
+        if self._actuation_supervisor is not None:
+            self._supervise_tick()
+
+    def _supervise_tick(self) -> None:
+        """One supervision round: watchdog sampling, retries, emergency.
+
+        The watchdog samples through :meth:`read_sensors` — paying the
+        same overhead a controller pays — so the thermal-emergency
+        monitor stays alive even under controllers that never read the
+        sensors themselves (the static policies).
+        """
+        if self.now + 1e-9 >= self._next_watchdog_s:
+            self._next_watchdog_s += self.supervisor.watchdog_period_s
+            self.read_sensors()
+        self._actuation_supervisor.on_tick(self)
+
     def run(self) -> SimulationResult:
         """Execute every application to completion and build the result."""
+        # A reused engine (or sensor bank) must not leak filter state
+        # from a previous run into this one.
+        self._manager_sensors.reset()
+        self._eval_sensors.reset()
+        if self._sensor_supervisor is not None:
+            self._sensor_supervisor.reset()
         if self.manager is not None:
             self.manager.attach(self)
         completed = True
@@ -312,6 +497,11 @@ class Simulation:
                 self._finish_app(app, completed=False)
                 completed = False
                 break
+        supervisor_stats: Dict[str, float] = {}
+        if self._sensor_supervisor is not None:
+            supervisor_stats.update(self._sensor_supervisor.stats())
+        if self._actuation_supervisor is not None:
+            supervisor_stats.update(self._actuation_supervisor.stats(self.now))
         return SimulationResult(
             profile=self._profile,
             energy=self.chip.energy,
@@ -320,4 +510,10 @@ class Simulation:
             total_time_s=self.now,
             completed=completed,
             manager_stats=self.manager.stats() if self.manager is not None else {},
+            fault_stats=(
+                self._fault_injector.stats.as_dict()
+                if self._fault_injector is not None
+                else {}
+            ),
+            supervisor_stats=supervisor_stats,
         )

@@ -48,6 +48,16 @@ class SensorBank:
         else:
             self._ema_alpha = 1.0
 
+    def reset(self) -> None:
+        """Clear the reading-path filter state (the EMA history).
+
+        Call between back-to-back runs that reuse a bank so no filtered
+        temperature from a previous run leaks into the next one.  The
+        noise RNG is deliberately left untouched: resetting it would
+        make two consecutive runs correlated instead of independent.
+        """
+        self._ema = None
+
     def read(self, true_temps_c: Sequence[float]) -> np.ndarray:
         """Produce one sensor reading per core.
 

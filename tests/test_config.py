@@ -5,8 +5,11 @@ import dataclasses
 import pytest
 
 from repro.config import (
+    FaultConfig,
     OperatingPoint,
     PlatformConfig,
+    SensorConfig,
+    SupervisorConfig,
     default_agent_config,
     default_opp_table,
     default_platform_config,
@@ -86,3 +89,41 @@ def test_platform_adjacency_within_range():
 def test_custom_opp_table():
     config = PlatformConfig(opp_table=(OperatingPoint(1e9, 0.8), OperatingPoint(2e9, 1.0)))
     assert config.max_frequency() == 2e9
+
+
+@pytest.mark.parametrize(
+    "kwargs, fragment",
+    [
+        ({"min_c": 100.0, "max_c": 50.0}, "sensor range is empty"),
+        ({"quantisation_c": -1.0}, "quantisation_c"),
+        ({"noise_std_c": -0.5}, "noise_std_c"),
+        ({"ema_tau_s": -2.0}, "ema_tau_s"),
+    ],
+)
+def test_sensor_config_rejects_invalid(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        SensorConfig(**kwargs)
+
+
+def test_fault_config_disabled_by_default():
+    config = FaultConfig()
+    assert not config.enabled
+    assert config.dropout_prob == 0.0
+
+
+def test_fault_config_rejects_bad_probability():
+    with pytest.raises(ValueError, match="dropout_prob"):
+        FaultConfig(dropout_prob=1.5)
+    with pytest.raises(ValueError, match="fail\\+noop"):
+        FaultConfig(governor_fail_prob=0.8, governor_noop_prob=0.8)
+
+
+def test_supervisor_config_disabled_by_default():
+    config = SupervisorConfig()
+    assert not config.enabled
+    assert config.emergency_release_c < config.critical_temp_c
+
+
+def test_supervisor_config_rejects_inverted_thresholds():
+    with pytest.raises(ValueError, match="emergency_release_c"):
+        SupervisorConfig(critical_temp_c=70.0, emergency_release_c=80.0)

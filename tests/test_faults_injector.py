@@ -1,0 +1,190 @@
+"""Tests for the fault injector and the fault/supervisor configs."""
+
+import numpy as np
+import pytest
+
+from repro.config import FaultConfig, SupervisorConfig
+from repro.faults import (
+    FAULT_MODES,
+    OUTCOME_FAIL,
+    OUTCOME_NOOP,
+    OUTCOME_OK,
+    FaultInjector,
+    actuation_fault_config,
+    combined_fault_config,
+    fault_config_for,
+    sensor_fault_config,
+)
+
+CLEAN = [50.0, 51.0, 52.0, 53.0]
+
+
+def injector(seed=0, **kwargs):
+    return FaultInjector(FaultConfig(enabled=True, **kwargs), num_cores=4, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+def test_same_seed_same_schedule():
+    a = injector(seed=3, dropout_prob=0.3, spike_prob=0.3)
+    b = injector(seed=3, dropout_prob=0.3, spike_prob=0.3)
+    for t in range(50):
+        ra = a.perturb_sensors(float(t), CLEAN)
+        rb = b.perturb_sensors(float(t), CLEAN)
+        assert np.array_equal(ra, rb, equal_nan=True)
+    assert [a.governor_outcome() for _ in range(20)] == [
+        b.governor_outcome() for _ in range(20)
+    ]
+
+
+def test_run_seed_changes_schedule():
+    a = injector(seed=1, dropout_prob=0.3)
+    b = injector(seed=2, dropout_prob=0.3)
+    results_a = [a.perturb_sensors(float(t), CLEAN) for t in range(30)]
+    results_b = [b.perturb_sensors(float(t), CLEAN) for t in range(30)]
+    assert any(
+        not np.array_equal(x, y, equal_nan=True)
+        for x, y in zip(results_a, results_b)
+    )
+
+
+def test_zero_probability_config_perturbs_nothing():
+    inj = injector()
+    for t in range(20):
+        assert np.array_equal(inj.perturb_sensors(float(t), CLEAN), CLEAN)
+        assert inj.governor_outcome() == OUTCOME_OK
+        assert inj.mapping_outcome() == OUTCOME_OK
+    assert inj.stats.dropouts == 0
+    assert inj.stats.governor_failures == 0
+
+
+# ---------------------------------------------------------------------------
+# Sensor faults
+# ---------------------------------------------------------------------------
+
+
+def test_offsets_cycle_over_cores():
+    inj = injector(offset_c=(1.0, -2.0))
+    out = inj.perturb_sensors(0.0, CLEAN)
+    assert list(out) == [51.0, 49.0, 53.0, 51.0]
+
+
+def test_drift_grows_with_time():
+    inj = injector(drift_rate_c_per_s=0.1)
+    assert np.allclose(inj.perturb_sensors(0.0, CLEAN), CLEAN)
+    assert np.allclose(inj.perturb_sensors(100.0, CLEAN), np.asarray(CLEAN) + 10.0)
+
+
+def test_dropouts_are_nan_and_counted():
+    inj = injector(dropout_prob=1.0)
+    out = inj.perturb_sensors(0.0, CLEAN)
+    assert np.all(np.isnan(out))
+    assert inj.stats.dropouts == 4
+
+
+def test_spikes_have_configured_magnitude():
+    inj = injector(spike_prob=1.0, spike_magnitude_c=25.0)
+    out = inj.perturb_sensors(0.0, CLEAN)
+    assert np.allclose(np.abs(out - CLEAN), 25.0)
+    assert inj.stats.spikes == 4
+
+
+def test_stuck_sensor_latches_then_releases():
+    inj = injector(stuck_prob=1.0, stuck_duration_s=10.0)
+    first = inj.perturb_sensors(0.0, CLEAN)
+    assert np.array_equal(first, CLEAN)  # latches on the current value
+    moved = [60.0, 61.0, 62.0, 63.0]
+    held = inj.perturb_sensors(5.0, moved)
+    assert np.array_equal(held, CLEAN)  # still inside stuck_duration_s
+    # Past expiry the sensor re-latches on the *new* value.
+    after = inj.perturb_sensors(20.0, moved)
+    assert np.array_equal(after, moved)
+    assert inj.stats.stuck_events >= 4
+
+
+def test_wrong_width_rejected():
+    with pytest.raises(ValueError):
+        injector().perturb_sensors(0.0, [50.0, 51.0])
+
+
+# ---------------------------------------------------------------------------
+# Actuation faults
+# ---------------------------------------------------------------------------
+
+
+def test_actuation_outcomes_certain_fail():
+    inj = injector(governor_fail_prob=1.0, mapping_noop_prob=1.0)
+    assert inj.governor_outcome() == OUTCOME_FAIL
+    assert inj.mapping_outcome() == OUTCOME_NOOP
+    assert inj.stats.governor_failures == 1
+    assert inj.stats.mapping_noops == 1
+
+
+def test_actuation_outcome_frequencies_follow_probabilities():
+    inj = injector(governor_fail_prob=0.3, governor_noop_prob=0.2)
+    outcomes = [inj.governor_outcome() for _ in range(4000)]
+    assert outcomes.count(OUTCOME_FAIL) / 4000 == pytest.approx(0.3, abs=0.05)
+    assert outcomes.count(OUTCOME_NOOP) / 4000 == pytest.approx(0.2, abs=0.05)
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"dropout_prob": -0.1},
+        {"spike_prob": 1.5},
+        {"stuck_prob": 2.0},
+        {"governor_fail_prob": -1.0},
+        {"governor_fail_prob": 0.7, "governor_noop_prob": 0.7},
+        {"mapping_fail_prob": 0.6, "mapping_noop_prob": 0.6},
+        {"spike_magnitude_c": -1.0},
+        {"stuck_duration_s": -5.0},
+        {"offset_c": (1.0, float("nan"))},
+    ],
+)
+def test_fault_config_rejects_invalid(kwargs):
+    with pytest.raises(ValueError):
+        FaultConfig(enabled=True, **kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_rate_c_per_s": 0.0},
+        {"stuck_window": 1},
+        {"stuck_delta_c": -1.0},
+        {"critical_temp_c": 80.0, "emergency_release_c": 85.0},
+        {"watchdog_period_s": 0.0},
+        {"max_retries": -1},
+        {"retry_backoff_s": -0.1},
+        {"fault_deadline_s": 0.0},
+    ],
+)
+def test_supervisor_config_rejects_invalid(kwargs):
+    with pytest.raises(ValueError):
+        SupervisorConfig(enabled=True, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+
+def test_preset_modes_resolve():
+    assert fault_config_for("none") is None
+    assert fault_config_for("sensor") == sensor_fault_config()
+    assert fault_config_for("actuation") == actuation_fault_config()
+    assert fault_config_for("both") == combined_fault_config()
+    assert set(FAULT_MODES) == {"none", "sensor", "actuation", "both"}
+
+
+def test_preset_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        fault_config_for("gamma_rays")

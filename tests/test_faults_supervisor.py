@@ -1,0 +1,269 @@
+"""Tests for sensor sanitisation and supervised actuation.
+
+The property-style tests pin down the supervisor's contract: whatever
+fault schedule hits the sensor path, the filtered output is finite and
+inside the sensor's ``[min_c, max_c]`` range, and a failed actuation is
+retried at most ``max_retries`` times before the deadline forces the
+thermal-emergency safe state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SensorConfig, SupervisorConfig
+from repro.faults import ActuationSupervisor, SensorSupervisor
+
+SENSOR = SensorConfig()
+
+
+def supervisor(**kwargs):
+    config = SupervisorConfig(enabled=True, **kwargs)
+    return SensorSupervisor(config, SENSOR, num_cores=4)
+
+
+# ---------------------------------------------------------------------------
+# SensorSupervisor — property: output always finite and in range
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=32),
+            min_size=4,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_filter_output_always_finite_and_in_range(schedule):
+    sup = supervisor()
+    for step, readings in enumerate(schedule):
+        out = sup.filter(float(step), readings)
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= SENSOR.min_c)
+        assert np.all(out <= SENSOR.max_c)
+
+
+def test_all_nan_from_first_sample_fails_hot():
+    sup = supervisor()
+    out = sup.filter(0.0, [np.nan] * 4)
+    assert np.all(out == SENSOR.max_c)
+    assert sup.stats()["sensor_failsafe_fallbacks"] == 4.0
+
+
+# ---------------------------------------------------------------------------
+# SensorSupervisor — individual checks and fallbacks
+# ---------------------------------------------------------------------------
+
+
+def test_clean_readings_pass_through():
+    sup = supervisor()
+    clean = [50.0, 51.0, 52.0, 53.0]
+    assert np.array_equal(sup.filter(0.0, clean), clean)
+    stats = sup.stats()
+    assert stats["sensor_median_fallbacks"] == 0.0
+    assert stats["sensor_hold_fallbacks"] == 0.0
+
+
+def test_dropout_replaced_by_healthy_median():
+    sup = supervisor()
+    out = sup.filter(0.0, [50.0, 51.0, 52.0, np.nan])
+    assert out[3] == pytest.approx(51.0)
+    assert sup.stats()["sensor_median_fallbacks"] == 1.0
+
+
+def test_out_of_range_reading_blocked():
+    sup = supervisor()
+    out = sup.filter(0.0, [50.0, 51.0, 52.0, 300.0])
+    assert out[3] == pytest.approx(51.0)
+    assert sup.stats()["sensor_range_blocked"] == 1.0
+
+
+def test_all_bad_holds_last_good_vector():
+    sup = supervisor()
+    good = sup.filter(0.0, [50.0, 51.0, 52.0, 53.0])
+    held = sup.filter(1.0, [np.nan] * 4)
+    assert np.array_equal(held, good)
+    assert sup.stats()["sensor_hold_fallbacks"] == 4.0
+
+
+def test_rate_of_change_spike_blocked():
+    sup = supervisor(max_rate_c_per_s=25.0)
+    sup.filter(0.0, [50.0, 50.0, 50.0, 50.0])
+    out = sup.filter(1.0, [90.0, 51.0, 51.0, 51.0])  # +40 degC in 1 s
+    assert out[0] == pytest.approx(51.0)
+    assert sup.stats()["sensor_rate_blocked"] == 1.0
+
+
+def test_stuck_sensor_detected_and_replaced():
+    sup = supervisor(stuck_window=3, stuck_delta_c=3.0)
+    blocked = 0
+    for step in range(8):
+        moving = 50.0 + 4.0 * step
+        out = sup.filter(float(step), [moving, moving, moving, 50.0])
+        if sup.stats()["sensor_stuck_blocked"] > blocked:
+            blocked = sup.stats()["sensor_stuck_blocked"]
+            assert out[3] == pytest.approx(moving)
+    assert blocked > 0
+
+
+def test_steady_chip_not_flagged_as_stuck():
+    """Genuinely steady quantised readings repeat on every core; the
+    cross-core confirmation must keep them from being rejected."""
+    sup = supervisor(stuck_window=3)
+    for step in range(10):
+        out = sup.filter(float(step), [50.0, 50.0, 50.0, 50.0])
+        assert np.array_equal(out, [50.0] * 4)
+    assert sup.stats()["sensor_stuck_blocked"] == 0.0
+
+
+def test_reset_forgets_filter_state():
+    sup = supervisor()
+    sup.filter(0.0, [50.0] * 4)
+    sup.reset()
+    # With no last-good vector the all-bad case fails hot again.
+    assert np.all(sup.filter(0.0, [np.nan] * 4) == SENSOR.max_c)
+    assert sup.stats()["sensor_reads"] == 1.0
+
+
+def test_filter_wrong_width_rejected():
+    with pytest.raises(ValueError):
+        supervisor().filter(0.0, [50.0, 51.0])
+
+
+# ---------------------------------------------------------------------------
+# ActuationSupervisor — bounded retry, deadline, emergency
+# ---------------------------------------------------------------------------
+
+
+class FakeSim:
+    """Actuation endpoint whose transitions fail until told otherwise."""
+
+    def __init__(self, failing=True):
+        self.now = 0.0
+        self.failing = failing
+        self.governor_calls = 0
+        self.mapping_calls = 0
+        self.engaged = 0
+        self.released = 0
+        self._governor_state = None
+
+    def _actuate_governor(self, name, hz):
+        self.governor_calls += 1
+        if self.failing:
+            return False
+        self._governor_state = (name, hz)
+        return True
+
+    def governor_in_force(self, name, hz=None):
+        return self._governor_state == (name, hz)
+
+    def _actuate_mapping(self, mapping):
+        self.mapping_calls += 1
+        return not self.failing
+
+    def mapping_in_force(self, mapping):
+        return not self.failing
+
+    def _engage_thermal_emergency(self):
+        self.engaged += 1
+
+    def _release_thermal_emergency(self):
+        self.released += 1
+
+
+def actuation(sim_failing=True, **kwargs):
+    config = SupervisorConfig(enabled=True, **kwargs)
+    sensors = SensorSupervisor(config, SENSOR, num_cores=4)
+    return ActuationSupervisor(config, sensors), FakeSim(failing=sim_failing)
+
+
+def test_successful_request_needs_one_attempt():
+    sup, sim = actuation(sim_failing=False)
+    sup.request_governor(sim, "powersave", None)
+    assert sim.governor_calls == 1
+    assert sup.stats(sim.now)["actuation_failures_detected"] == 0.0
+
+
+@given(st.floats(min_value=0.01, max_value=0.5), st.integers(min_value=0, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_retry_terminates_within_bound(backoff, max_retries):
+    """However the clock advances, a permanently failing actuation is
+    attempted exactly ``1 + max_retries`` times, then abandoned."""
+    sup, sim = actuation(
+        retry_backoff_s=backoff, max_retries=max_retries, fault_deadline_s=1e9
+    )
+    sup.request_governor(sim, "powersave", None)
+    for _ in range(200):
+        sim.now += backoff
+        sup.on_tick(sim)
+    assert sim.governor_calls == 1 + max_retries
+    stats = sup.stats(sim.now)
+    assert stats["actuation_abandoned"] == 1.0
+    assert stats["emergencies"] == 0.0  # deadline far away
+
+
+def test_backoff_doubles_between_retries():
+    sup, sim = actuation(retry_backoff_s=1.0, max_retries=3, fault_deadline_s=1e9)
+    sup.request_governor(sim, "powersave", None)
+    attempt_times = []
+    calls = sim.governor_calls
+    for _ in range(200):
+        sim.now += 0.25
+        sup.on_tick(sim)
+        if sim.governor_calls > calls:
+            calls = sim.governor_calls
+            attempt_times.append(sim.now)
+    # First retry after ~1 s, then ~2 s, then ~4 s gaps.
+    gaps = np.diff([0.0] + attempt_times)
+    assert len(attempt_times) == 3
+    assert np.all(np.diff(gaps) > 0)  # strictly growing backoff
+
+
+def test_deadline_forces_emergency():
+    sup, sim = actuation(fault_deadline_s=2.0, max_retries=50, retry_backoff_s=0.5)
+    sup.request_governor(sim, "powersave", None)
+    for _ in range(40):
+        sim.now += 0.25
+        sup.on_tick(sim)
+    assert sim.engaged == 1
+    assert sup.stats(sim.now)["emergencies"] == 1.0
+    assert sup.stats(sim.now)["emergency_active"] == 1.0
+
+
+def test_critical_temperature_engages_and_release_restores():
+    sup, sim = actuation(
+        sim_failing=False, critical_temp_c=90.0, emergency_release_c=70.0
+    )
+    sup.request_governor(sim, "userspace", 3.4e9)
+    assert sim.governor_calls == 1
+
+    sup.sensors.filter(0.0, [95.0] * 4)  # above critical
+    sup.on_tick(sim)
+    assert sim.engaged == 1
+
+    # Requests during the emergency are deferred, not actuated.
+    sup.request_governor(sim, "userspace", 2.0e9)
+    assert sim.governor_calls == 1
+    assert sup.stats(sim.now)["actuation_deferred"] == 1.0
+
+    # Cool down within the plausible slew rate (25 degC/s) so the
+    # readings themselves pass sanitisation.
+    sup.sensors.filter(1.0, [75.0] * 4)
+    sim.now = 1.0
+    sup.on_tick(sim)
+    assert sim.released == 0  # still above the release threshold
+
+    sup.sensors.filter(2.0, [60.0] * 4)  # below release
+    sim.now = 2.0
+    sup.on_tick(sim)
+    assert sim.released == 1
+    # The deferred request is re-applied through the normal path.
+    assert sim.governor_calls == 2
+    assert sim.governor_in_force("userspace", 2.0e9)
+    assert sup.stats(sim.now)["emergency_time_s"] == pytest.approx(2.0)

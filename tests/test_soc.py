@@ -156,6 +156,26 @@ def test_mapping_switch_api():
             assert sim.scheduler.core_of(thread) in (0, 1)
 
 
+def test_unknown_governor_rejected():
+    sim = Simulation([short_app()], seed=1, max_time_s=2000)
+    with pytest.raises(ValueError, match="unknown governor"):
+        sim.set_governor("turbo_boost")
+
+
+def test_userspace_governor_requires_frequency():
+    sim = Simulation([short_app()], seed=1, max_time_s=2000)
+    with pytest.raises(ValueError, match="frequency"):
+        sim.set_governor("userspace")
+
+
+def test_mapping_with_invalid_core_rejected():
+    from repro.sched.affinity import AffinityMapping
+
+    sim = Simulation([short_app()], seed=1, max_time_s=2000)
+    with pytest.raises(ValueError):
+        sim.set_mapping(AffinityMapping(name="bad", masks=((0, 9),)))
+
+
 def test_sensor_read_charges_overhead():
     sim = Simulation([short_app()], seed=1, max_time_s=2000)
     sim._start_next_app()

@@ -181,6 +181,38 @@ def test_sensor_wrong_width_rejected():
         bank.read([40.0, 41.0])
 
 
+def test_sensor_reset_clears_ema_state():
+    """A reused bank must not leak filtered history into the next run.
+
+    Noise and quantisation are disabled to isolate the EMA: after many
+    reads at a hot temperature the filter lags a sudden cold input, but
+    a reset makes the first read track the input exactly again.
+    """
+    config = SensorConfig(noise_std_c=0.0, quantisation_c=0.0, ema_tau_s=5.0)
+    bank = SensorBank(4, config, seed=0)
+    for _ in range(50):
+        bank.read([80.0] * 4)
+    lagged = bank.read([40.0] * 4)
+    assert np.all(lagged > 60.0)  # filter still remembers the hot run
+    bank.reset()
+    fresh = bank.read([40.0] * 4)
+    assert np.allclose(fresh, 40.0)
+
+
+def test_sensor_reset_preserves_noise_stream():
+    """Resetting the filter must not rewind the noise RNG — otherwise
+    two back-to-back runs would draw correlated noise."""
+    config = SensorConfig(quantisation_c=0.0)  # keep the raw noise visible
+    bank = SensorBank(4, config, seed=5)
+    first = bank.read([40.4] * 4)
+    bank.reset()
+    second = bank.read([40.4] * 4)
+    assert not np.array_equal(second, first)  # the stream advanced
+    reference = SensorBank(4, config, seed=5)
+    reference.read([40.4] * 4)
+    assert np.array_equal(second, reference.read([40.4] * 4))
+
+
 # ---------------------------------------------------------------------------
 # Profile
 # ---------------------------------------------------------------------------

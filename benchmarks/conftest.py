@@ -11,13 +11,18 @@ round is meaningful; the benchmark timer then records how long the
 artefact takes to regenerate.
 
 Set ``REPRO_BENCH_SCALE`` (default 1.0) to scale the application lengths
-down for quicker sweeps.
+down for quicker sweeps.  Scaled-down artefacts are routed into the
+experiment-engine cache tree (``.repro-cache/results-scale-<s>/``, see
+:func:`repro.experiments.engine.artifact_dir`) instead of ``results/``,
+so a quick sweep can never clobber the committed full-scale artefacts.
 """
 
 import os
 from pathlib import Path
 
 import pytest
+
+from repro.experiments.engine import artifact_dir
 
 #: Scale on application iteration counts used by all benchmarks.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -30,14 +35,24 @@ def run_once(benchmark, fn, *args, **kwargs):
 
 #: Where benchmarks persist their formatted artefacts (the console
 #: tables of every reproduced figure/table), so results survive pytest's
-#: output capturing.
+#: output capturing.  Only full-scale runs may write here.
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
-def save_artifact(name: str, text: str) -> None:
-    """Write one artefact's formatted output to results/<name>.txt."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+def save_artifact(name: str, text: str, scale: float = None) -> None:
+    """Write one artefact's formatted output to <name>.txt.
+
+    Full-scale runs (``scale == 1.0``) write into the repository's
+    committed ``results/`` directory; any other scale is routed into the
+    engine cache tree so reduced sweeps leave the committed artefacts
+    untouched.  ``scale`` defaults to the ``REPRO_BENCH_SCALE``
+    environment variable read at call time.
+    """
+    if scale is None:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    target = artifact_dir(scale, RESULTS_DIR)
+    target.mkdir(parents=True, exist_ok=True)
+    (target / f"{name}.txt").write_text(text + "\n")
 
 
 @pytest.fixture

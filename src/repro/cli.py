@@ -2,50 +2,50 @@
 
 ::
 
+    python -m repro all               # every artefact, serial
+    python -m repro all --jobs 8      # every artefact, 8 worker processes
     python -m repro table2            # Table 2
     python -m repro fig3 --scale 0.5  # Figure 3 at half length
     python -m repro run tachyon --dataset "set 1" --policy proposed
     python -m repro list              # available artefacts & policies
 
 Every artefact command prints the same console table its benchmark
-prints.
+prints.  Artefact commands run through the experiment engine
+(:mod:`repro.experiments.engine`): ``--jobs N`` fans the grid out over
+``N`` worker processes and completed runs are memoised in a
+content-addressed cache under ``.repro-cache/`` (``--no-cache``
+disables it; ``--jobs 1 --no-cache`` is the original serial code
+path).  ``all`` additionally writes each table to ``results/<name>.txt``
+— or, at reduced ``--scale``, into the cache tree so scaled output
+never clobbers the committed full-scale artefacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
 
-from repro.experiments.ablation import run_ablation
-from repro.experiments.fault_tolerance import run_fault_tolerance
-from repro.experiments.fig1_motivation import run_fig1
-from repro.experiments.fig3_inter import run_fig3
-from repro.experiments.fig45_phases import run_fig45
-from repro.experiments.fig6_sampling import run_fig6
-from repro.experiments.fig7_epoch import run_fig7
-from repro.experiments.fig8_convergence import run_fig8
-from repro.experiments.fig9_power import run_fig9
+from repro.config import EngineConfig
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.engine.sweep import ARTEFACTS, regenerate_all
 from repro.experiments.runner import POLICIES, run_workload
-from repro.experiments.table2_intra import run_table2
-from repro.experiments.table3_exec_time import run_table3
 from repro.faults.presets import FAULT_MODES, default_supervisor_config, fault_config_for
 from repro.workloads.alpbench import APP_NAMES
 
-#: Artefact name -> experiment entry point.
-ARTEFACTS: Dict[str, Callable] = {
-    "fig1": run_fig1,
-    "table2": run_table2,
-    "fig3": run_fig3,
-    "fig45": run_fig45,
-    "fig6": run_fig6,
-    "fig7": run_fig7,
-    "fig8": run_fig8,
-    "table3": run_table3,
-    "fig9": run_fig9,
-    "ablation": run_ablation,
-    "fault_tolerance": run_fault_tolerance,
-}
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The engine flags shared by every artefact command and ``all``."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grid (default 1: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed result cache under .repro-cache/",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +65,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="application-length scale (default 1.0)",
         )
         artefact.add_argument("--seed", type=int, default=1)
+        _add_engine_flags(artefact)
+
+    everything = sub.add_parser(
+        "all", help="regenerate every results/*.txt artefact in one sweep"
+    )
+    everything.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="application-length scale (non-1.0 output goes to the cache tree)",
+    )
+    everything.add_argument("--seed", type=int, default=1)
+    everything.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated subset of artefacts (default: all of them)",
+    )
+    everything.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-artefact tables (summary only)",
+    )
+    _add_engine_flags(everything)
 
     run = sub.add_parser("run", help="run one workload under one policy")
     run.add_argument("app", choices=APP_NAMES)
@@ -86,6 +109,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list artefacts, applications and policies")
     return parser
+
+
+def _engine_from(args: argparse.Namespace) -> ExperimentEngine:
+    """Build the engine an artefact command asked for."""
+    return ExperimentEngine.from_config(
+        EngineConfig(jobs=args.jobs, use_cache=not args.no_cache)
+    )
+
+
+def _command_all(args: argparse.Namespace) -> int:
+    engine = _engine_from(args)
+    artefacts = args.only.split(",") if args.only else None
+    report = regenerate_all(
+        iteration_scale=args.scale,
+        seed=args.seed,
+        engine=engine,
+        artefacts=artefacts,
+        progress=print,
+    )
+    if not args.quiet:
+        for run in report.runs:
+            print(run.text)
+            print()
+    for line in report.summary_lines():
+        print(line)
+    return 0
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -141,8 +190,12 @@ def main(argv=None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "all":
+        return _command_all(args)
     experiment = ARTEFACTS[args.command]
-    result = experiment(iteration_scale=args.scale, seed=args.seed)
+    result = experiment(
+        iteration_scale=args.scale, seed=args.seed, engine=_engine_from(args)
+    )
     print(result.format_table())
     return 0
 

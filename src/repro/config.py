@@ -344,6 +344,33 @@ class SupervisorConfig:
 
 
 # ---------------------------------------------------------------------------
+# Experiment engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Parallelism and caching of the experiment engine.
+
+    Consumed by :class:`repro.experiments.engine.ExperimentEngine`; the
+    defaults (one worker, caching on, the standard cache directory) are
+    what ``repro all`` uses when no flags are given.
+    """
+
+    #: Worker processes; 1 means run every job inline (the serial path).
+    jobs: int = 1
+    #: Whether to read/write the content-addressed result cache.
+    use_cache: bool = True
+    #: Cache root directory; ``None`` selects ``$REPRO_CACHE_DIR`` or
+    #: ``./.repro-cache``.
+    cache_dir: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+
+# ---------------------------------------------------------------------------
 # Reliability
 # ---------------------------------------------------------------------------
 

@@ -31,6 +31,13 @@ Fig. 9    repro.experiments.fig9_power          power/energy comparison
 The ``fault_tolerance`` artefact goes beyond the paper: it re-runs the
 headline controllers on a faulty substrate (see :mod:`repro.faults`)
 with the graceful-degradation layer off and on.
+
+Every experiment accepts an optional ``engine``
+(:class:`repro.experiments.engine.ExperimentEngine`) and submits its
+whole grid as one batch of hashable job specs, which is how ``repro
+all`` parallelises and memoises the evaluation; with no engine the
+grid executes serially and uncached, exactly as the modules did before
+the engine existed.
 """
 
 from repro.experiments.runner import (

@@ -26,7 +26,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.tables import format_table
 from repro.config import AgentConfig, default_agent_config
 from repro.core.actions import Action, ActionSpace
-from repro.experiments.runner import RunSummary, run_scenario, run_workload
+from repro.experiments.engine import (
+    ExperimentEngine,
+    default_engine,
+    scenario_job,
+    workload_job,
+)
+from repro.experiments.runner import RunSummary
 from repro.units import ghz
 
 #: Variant names in report order.
@@ -115,9 +121,18 @@ class AblationResult:
                 seen.append(row.workload)
         return seen
 
+    def variants(self) -> List[str]:
+        """Distinct variant labels, in insertion order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.variant not in seen:
+                seen.append(row.variant)
+        return seen
+
     def format_table(self) -> str:
         """Render cycling/aging MTTF per workload and variant."""
-        headers = ["workload", "metric"] + list(ABLATION_VARIANTS)
+        variants = self.variants()
+        headers = ["workload", "metric"] + variants
         rows = []
         for workload in self.workloads():
             for metric, label in (
@@ -126,39 +141,53 @@ class AblationResult:
             ):
                 rows.append(
                     [workload, label]
-                    + [self.value(workload, v, metric) for v in ABLATION_VARIANTS]
+                    + [self.value(workload, v, metric) for v in variants]
                 )
         return format_table(
             headers, rows, title="Ablation — removing one design choice at a time"
         )
 
 
-def run_ablation(iteration_scale: float = 1.0, seed: int = 1) -> AblationResult:
+def run_ablation(
+    iteration_scale: float = 1.0,
+    seed: int = 1,
+    variants: Tuple[str, ...] = ABLATION_VARIANTS,
+    workloads: Tuple[Tuple[str, str], ...] = ABLATION_WORKLOADS,
+    scenario: Tuple[str, ...] = ABLATION_SCENARIO,
+    engine: Optional[ExperimentEngine] = None,
+) -> AblationResult:
     """Run every variant on the workload mix."""
-    result = AblationResult()
-    for variant in ABLATION_VARIANTS:
+    engine = default_engine(engine)
+    labels: List[Tuple[str, str]] = []
+    jobs = []
+    for variant in variants:
         config, space = variant_config(variant)
-        for app, dataset in ABLATION_WORKLOADS:
-            summary = run_workload(
-                app,
-                dataset,
+        for app, dataset in workloads:
+            labels.append((f"{app}:{dataset}", variant))
+            jobs.append(
+                workload_job(
+                    app,
+                    dataset,
+                    "proposed",
+                    seed=seed,
+                    agent_config=config,
+                    action_space=space,
+                    iteration_scale=iteration_scale,
+                )
+            )
+        labels.append(("-".join(scenario), variant))
+        jobs.append(
+            scenario_job(
+                scenario,
                 "proposed",
                 seed=seed,
                 agent_config=config,
-                action_space=space,
                 iteration_scale=iteration_scale,
             )
-            result.rows.append(AblationRow(f"{app}:{dataset}", variant, summary))
-        scenario_summary = run_scenario(
-            ABLATION_SCENARIO,
-            "proposed",
-            seed=seed,
-            agent_config=config,
-            iteration_scale=iteration_scale,
         )
-        result.rows.append(
-            AblationRow("-".join(ABLATION_SCENARIO), variant, scenario_summary)
-        )
+    result = AblationResult()
+    for (workload, variant), summary in zip(labels, engine.run(jobs)):
+        result.rows.append(AblationRow(workload, variant, summary))
     return result
 
 

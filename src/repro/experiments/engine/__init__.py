@@ -1,0 +1,61 @@
+"""Parallel, content-addressed experiment engine.
+
+Every paper artefact is a grid of independent, deterministic,
+seeded simulations.  This package turns each grid cell into a hashable
+:class:`JobSpec`, fans batches of specs out across worker processes
+with deterministic result ordering (:class:`ExperimentEngine`), and
+memoises completed runs in a content-addressed on-disk cache
+(:class:`ResultCache`) keyed by a stable hash of the spec plus the
+package version — see DESIGN.md, "Job hashing and the result cache".
+
+Layout:
+
+* :mod:`~repro.experiments.engine.spec` — job descriptions + hashing;
+* :mod:`~repro.experiments.engine.cache` — the on-disk result store and
+  the artifact-routing policy for reduced-scale sweeps;
+* :mod:`~repro.experiments.engine.worker` — the per-process job entry;
+* :mod:`~repro.experiments.engine.scheduler` — batch execution;
+* :mod:`~repro.experiments.engine.sweep` — ``repro all`` (imported
+  lazily by the CLI; not re-exported here to keep experiment modules
+  importable from this package without a cycle).
+"""
+
+from repro.experiments.engine.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    ResultCache,
+    artifact_dir,
+    default_cache_root,
+)
+from repro.experiments.engine.scheduler import (
+    EngineStats,
+    ExperimentEngine,
+    default_engine,
+)
+from repro.experiments.engine.spec import (
+    JobSpec,
+    canonical_json,
+    canonicalise,
+    job_key,
+    scenario_job,
+    workload_job,
+)
+from repro.experiments.engine.worker import execute_job
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "EngineStats",
+    "ExperimentEngine",
+    "JobSpec",
+    "ResultCache",
+    "artifact_dir",
+    "canonical_json",
+    "canonicalise",
+    "default_cache_root",
+    "default_engine",
+    "execute_job",
+    "job_key",
+    "scenario_job",
+    "workload_job",
+]

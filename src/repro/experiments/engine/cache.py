@@ -1,0 +1,184 @@
+"""Content-addressed on-disk result cache.
+
+Completed :class:`~repro.experiments.runner.RunSummary` objects are
+stored under ``.repro-cache/results/<key[:2]>/<key>.pkl`` where ``key``
+is :func:`repro.experiments.engine.spec.job_key` — a stable hash of the
+job spec plus the package version.  Because the simulations are
+deterministic, a hit is bit-identical to re-running the job; because the
+version participates in the key, bumping ``repro.__version__``
+invalidates every prior entry at once.
+
+The cache also owns the *artifact routing* policy: formatted artefact
+tables regenerated at full scale belong in the repository's committed
+``results/`` directory, while reduced-scale sweeps are routed into the
+cache tree (``results-scale-<s>/``) so they can never clobber the
+committed full-scale artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import repro
+from repro.experiments.engine.spec import JobSpec, job_key
+
+#: Environment variable relocating the cache tree (tests, CI).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory name, created relative to the working dir.
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def default_cache_root() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    return Path(override) if override else Path(DEFAULT_CACHE_DIRNAME)
+
+
+def artifact_dir(scale: float, results_dir: Path) -> Path:
+    """Where regenerated artefact tables for ``scale`` belong.
+
+    Full-scale output goes to the repository's ``results_dir``;
+    anything else is routed into the cache tree so reduced-scale sweeps
+    cannot overwrite the committed artefacts.
+    """
+    if scale == 1.0:
+        return results_dir
+    return default_cache_root() / f"results-scale-{scale:g}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/invalidation counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for logging and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidated": self.invalidated,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Pickle-backed content-addressed store of run summaries.
+
+    Parameters
+    ----------
+    root:
+        Cache root directory (``None`` -> :func:`default_cache_root`).
+    version:
+        Version string mixed into every key (``None`` -> the installed
+        ``repro.__version__``).
+    """
+
+    root: Optional[Path] = None
+    version: Optional[str] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root) if self.root is not None else default_cache_root()
+        self.version = self.version if self.version is not None else repro.__version__
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    def key_for(self, spec: JobSpec) -> str:
+        """The content address of one job under this cache's version."""
+        return job_key(spec, self.version)
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / "results" / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Store / load
+    # ------------------------------------------------------------------
+
+    def get(self, spec: JobSpec):
+        """The cached summary for ``spec``, or ``None`` (counted miss).
+
+        A corrupt or version-mismatched entry is deleted (counted as an
+        invalidation) and reported as a miss.
+        """
+        path = self._path_for(self.key_for(spec))
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("version") != self.version:
+                raise ValueError("version mismatch")
+            summary = payload["summary"]
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return summary
+
+    def put(self, spec: JobSpec, summary) -> str:
+        """Store one summary; atomic against concurrent writers."""
+        key = self.key_for(spec)
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": self.version, "key": key, "summary": summary}
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return key
+
+    # ------------------------------------------------------------------
+    # Invalidation / eviction
+    # ------------------------------------------------------------------
+
+    def invalidate(self, spec: Optional[JobSpec] = None) -> int:
+        """Drop one entry (or every entry when ``spec`` is ``None``).
+
+        Returns the number of entries removed; also counted in
+        ``stats.invalidated``.
+        """
+        removed = 0
+        if spec is not None:
+            path = self._path_for(self.key_for(spec))
+            if path.exists():
+                path.unlink()
+                removed = 1
+        else:
+            store = self.root / "results"
+            if store.exists():
+                for path in sorted(store.rglob("*.pkl")):
+                    path.unlink()
+                    removed += 1
+        self.stats.invalidated += removed
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        store = self.root / "results"
+        if not store.exists():
+            return 0
+        return sum(1 for _ in store.rglob("*.pkl"))

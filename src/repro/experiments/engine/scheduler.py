@@ -1,0 +1,146 @@
+"""The parallel, cache-aware job scheduler.
+
+:class:`ExperimentEngine` takes a batch of :class:`JobSpec` objects and
+returns their :class:`~repro.experiments.runner.RunSummary` results *in
+submission order*, regardless of how many worker processes executed them
+or which came back from the cache.  The pipeline per batch is:
+
+1. deduplicate equal specs (deterministic simulations make duplicates
+   free to share);
+2. resolve cache hits;
+3. execute the misses — inline when ``jobs == 1``, else fanned out over
+   a ``ProcessPoolExecutor``;
+4. store fresh results back into the cache.
+
+With ``jobs=1`` and no cache the engine degenerates to calling the
+runner directly in a loop — the exact serial code path the experiments
+used before the engine existed, which is what the bit-identity
+guarantee (parallel + cached output == serial seed output) is tested
+against.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import EngineConfig
+from repro.experiments.engine.cache import ResultCache
+from repro.experiments.engine.spec import JobSpec
+from repro.experiments.engine.worker import execute_job
+from repro.experiments.runner import RunSummary
+
+
+@dataclass
+class EngineStats:
+    """Lifetime accounting of one engine instance."""
+
+    #: Jobs submitted across all batches (before deduplication).
+    submitted: int = 0
+    #: Unique jobs that actually ran a simulation.
+    executed: int = 0
+    #: Jobs resolved from the cache.
+    cache_hits: int = 0
+    #: Unique jobs that missed the cache (equals ``executed`` when a
+    #: cache is attached).
+    cache_misses: int = 0
+    #: Duplicate submissions shared within batches.
+    deduplicated: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for logging and tests)."""
+        return {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "deduplicated": self.deduplicated,
+        }
+
+
+@dataclass
+class ExperimentEngine:
+    """Run batches of simulation jobs, optionally parallel and cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 executes inline in this process.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching.  The
+    default engine (``ExperimentEngine()``) is the serial, uncached
+    degenerate case every experiment module falls back to.
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    @classmethod
+    def from_config(cls, config: EngineConfig) -> "ExperimentEngine":
+        """Build an engine from an :class:`repro.config.EngineConfig`."""
+        cache = ResultCache(root=config.cache_dir) if config.use_cache else None
+        return cls(jobs=config.jobs, cache=cache)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> List[RunSummary]:
+        """Execute a batch; results align index-for-index with ``specs``."""
+        specs = list(specs)
+        self.stats.submitted += len(specs)
+
+        # Deduplicate: map each submission to the first equal spec.
+        unique: List[JobSpec] = []
+        slot_of: Dict[JobSpec, int] = {}
+        placement: List[int] = []
+        for spec in specs:
+            if spec not in slot_of:
+                slot_of[spec] = len(unique)
+                unique.append(spec)
+            else:
+                self.stats.deduplicated += 1
+            placement.append(slot_of[spec])
+
+        results: List[Optional[RunSummary]] = [None] * len(unique)
+        pending: List[int] = []
+        for index, spec in enumerate(unique):
+            if self.cache is not None:
+                summary = self.cache.get(spec)
+                if summary is not None:
+                    self.stats.cache_hits += 1
+                    results[index] = summary
+                    continue
+                self.stats.cache_misses += 1
+            pending.append(index)
+
+        if pending:
+            self.stats.executed += len(pending)
+            if self.jobs == 1 or len(pending) == 1:
+                fresh = [execute_job(unique[i]) for i in pending]
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(pool.map(execute_job, [unique[i] for i in pending]))
+            for index, summary in zip(pending, fresh):
+                results[index] = summary
+                if self.cache is not None:
+                    self.cache.put(unique[index], summary)
+
+        return [results[slot] for slot in placement]
+
+    def run_one(self, spec: JobSpec) -> RunSummary:
+        """Convenience wrapper for a single job."""
+        return self.run([spec])[0]
+
+
+def default_engine(engine: Optional[ExperimentEngine]) -> ExperimentEngine:
+    """The engine an experiment should use: the given one, or the
+    serial uncached degenerate engine."""
+    return engine if engine is not None else ExperimentEngine()

@@ -1,0 +1,211 @@
+"""Hashable job descriptions for the experiment engine.
+
+A :class:`JobSpec` is the complete, immutable description of one
+simulation job — everything :func:`repro.experiments.runner.run_workload`
+or :func:`~repro.experiments.runner.run_scenario` needs to produce a
+:class:`~repro.experiments.runner.RunSummary`.  Because every simulation
+is deterministic and seeded, the spec *is* the result's identity: two
+equal specs always produce bit-identical summaries, which is what makes
+the content-addressed cache (:mod:`repro.experiments.engine.cache`)
+sound.
+
+The cache key is a SHA-256 over a canonical JSON rendering of the spec
+plus the package version (:func:`job_key`).  The rendering walks nested
+dataclasses field by field and tags each with its qualified class name,
+so *any* config-field change — a new default, a renamed field, a tweaked
+probability — changes the key and invalidates the cached result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import repro
+from repro.config import (
+    AgentConfig,
+    FaultConfig,
+    GeQiuConfig,
+    PlatformConfig,
+    ReliabilityConfig,
+    SupervisorConfig,
+)
+from repro.core.actions import Action, ActionSpace
+from repro.sched.affinity import AffinityMapping
+
+#: Job kinds the engine knows how to execute.
+JOB_KINDS: Tuple[str, ...] = ("workload", "scenario")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One (workload|scenario, policy, configuration) simulation job.
+
+    Mirrors the keyword surface of the runner entry points; ``None``
+    config fields mean "the runner's default", exactly like calling the
+    runner directly.  ``actions`` holds the :class:`ActionSpace` content
+    as a plain tuple so the spec stays hashable and picklable.
+    """
+
+    kind: str
+    #: Workload jobs: the application name.  Scenario jobs: unused.
+    app: Optional[str] = None
+    #: Scenario jobs: the application sequence.  Workload jobs: unused.
+    apps: Tuple[str, ...] = ()
+    dataset: Optional[str] = None
+    policy: str = "linux"
+    seed: int = 1
+    train_passes: int = 1
+    iteration_scale: float = 1.0
+    #: ``None`` -> the runner's per-kind default.
+    max_time_s: Optional[float] = None
+    agent_config: Optional[AgentConfig] = None
+    reliability: Optional[ReliabilityConfig] = None
+    platform: Optional[PlatformConfig] = None
+    actions: Optional[Tuple[Action, ...]] = None
+    ge_config: Optional[GeQiuConfig] = None
+    mapping: Optional[AffinityMapping] = None
+    faults: Optional[FaultConfig] = None
+    supervisor: Optional[SupervisorConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; known: {JOB_KINDS}")
+        if self.kind == "workload" and not self.app:
+            raise ValueError("workload jobs need an app name")
+        if self.kind == "scenario" and not self.apps:
+            raise ValueError("scenario jobs need an application sequence")
+
+    def action_space(self) -> Optional[ActionSpace]:
+        """Materialise the stored actions back into an ActionSpace."""
+        if self.actions is None:
+            return None
+        return ActionSpace(list(self.actions))
+
+    @property
+    def label(self) -> str:
+        """Short display label for progress reporting."""
+        target = self.app if self.kind == "workload" else "-".join(self.apps)
+        return f"{target}/{self.policy}"
+
+
+def workload_job(
+    app: str,
+    dataset: Optional[str] = None,
+    policy: str = "linux",
+    *,
+    seed: int = 1,
+    train_passes: int = 1,
+    iteration_scale: float = 1.0,
+    max_time_s: Optional[float] = None,
+    agent_config: Optional[AgentConfig] = None,
+    reliability: Optional[ReliabilityConfig] = None,
+    platform: Optional[PlatformConfig] = None,
+    action_space: Optional[ActionSpace] = None,
+    ge_config: Optional[GeQiuConfig] = None,
+    mapping: Optional[AffinityMapping] = None,
+    faults: Optional[FaultConfig] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+) -> JobSpec:
+    """A workload job spec, mirroring ``run_workload``'s signature."""
+    return JobSpec(
+        kind="workload",
+        app=app,
+        dataset=dataset,
+        policy=policy,
+        seed=seed,
+        train_passes=train_passes,
+        iteration_scale=iteration_scale,
+        max_time_s=max_time_s,
+        agent_config=agent_config,
+        reliability=reliability,
+        platform=platform,
+        actions=tuple(action_space) if action_space is not None else None,
+        ge_config=ge_config,
+        mapping=mapping,
+        faults=faults,
+        supervisor=supervisor,
+    )
+
+
+def scenario_job(
+    apps,
+    policy: str,
+    *,
+    seed: int = 1,
+    iteration_scale: float = 1.0,
+    max_time_s: Optional[float] = None,
+    agent_config: Optional[AgentConfig] = None,
+    reliability: Optional[ReliabilityConfig] = None,
+    platform: Optional[PlatformConfig] = None,
+    action_space: Optional[ActionSpace] = None,
+    ge_config: Optional[GeQiuConfig] = None,
+    faults: Optional[FaultConfig] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+) -> JobSpec:
+    """A scenario job spec, mirroring ``run_scenario``'s signature."""
+    return JobSpec(
+        kind="scenario",
+        apps=tuple(apps),
+        policy=policy,
+        seed=seed,
+        iteration_scale=iteration_scale,
+        max_time_s=max_time_s,
+        agent_config=agent_config,
+        reliability=reliability,
+        platform=platform,
+        actions=tuple(action_space) if action_space is not None else None,
+        ge_config=ge_config,
+        faults=faults,
+        supervisor=supervisor,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialisation and hashing
+# ---------------------------------------------------------------------------
+
+
+def canonicalise(value):
+    """Reduce a spec value to a JSON-serialisable canonical form.
+
+    Dataclasses carry their qualified class name so that two configs
+    with coincidentally equal field dicts but different types (or a
+    future renamed type) never collide; frozensets are sorted; floats
+    are rendered through ``repr`` by ``json.dumps`` (exact for the
+    round-trippable doubles used throughout the configs).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__class__": f"{type(value).__module__}.{type(value).__qualname__}",
+            "fields": {
+                f.name: canonicalise(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): canonicalise(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonicalise(v) for v in value]
+    if isinstance(value, frozenset):
+        return {"__frozenset__": sorted(canonicalise(v) for v in value)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__}: {value!r}")
+
+
+def canonical_json(spec: JobSpec, version: Optional[str] = None) -> str:
+    """The canonical JSON document a job key is hashed over."""
+    document = {
+        "version": version if version is not None else repro.__version__,
+        "spec": canonicalise(spec),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def job_key(spec: JobSpec, version: Optional[str] = None) -> str:
+    """Content address of a job: SHA-256 of spec + package version."""
+    return hashlib.sha256(canonical_json(spec, version).encode("utf-8")).hexdigest()

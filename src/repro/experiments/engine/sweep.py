@@ -1,0 +1,145 @@
+"""``repro all``: regenerate every paper artefact in one parallel sweep.
+
+Drives each experiment module through one shared
+:class:`~repro.experiments.engine.ExperimentEngine`, so the whole
+evaluation section fans out over worker processes and overlapping grids
+(Table 3 and Figure 9 share every run) resolve from the cache.  Each
+artefact's formatted table is written to ``results/<name>.txt`` — or,
+for reduced-scale sweeps, into the cache tree (see
+:func:`~repro.experiments.engine.cache.artifact_dir`) so scaled output
+can never clobber the committed full-scale artefacts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.engine.cache import artifact_dir
+from repro.experiments.engine.scheduler import EngineStats, ExperimentEngine
+from repro.experiments.fault_tolerance import run_fault_tolerance
+from repro.experiments.fig1_motivation import run_fig1
+from repro.experiments.fig3_inter import run_fig3
+from repro.experiments.fig45_phases import run_fig45
+from repro.experiments.fig6_sampling import run_fig6
+from repro.experiments.fig7_epoch import run_fig7
+from repro.experiments.fig8_convergence import run_fig8
+from repro.experiments.fig9_power import run_fig9
+from repro.experiments.table2_intra import run_table2
+from repro.experiments.table3_exec_time import run_table3
+
+#: Artefact name -> experiment entry point, in regeneration order.
+ARTEFACTS: Dict[str, Callable] = {
+    "fig1": run_fig1,
+    "table2": run_table2,
+    "fig3": run_fig3,
+    "fig45": run_fig45,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "table3": run_table3,
+    "fig9": run_fig9,
+    "ablation": run_ablation,
+    "fault_tolerance": run_fault_tolerance,
+}
+
+
+@dataclass
+class ArtefactRun:
+    """Outcome of regenerating one artefact."""
+
+    name: str
+    text: str
+    path: Path
+    elapsed_s: float
+
+
+@dataclass
+class SweepReport:
+    """Everything one ``repro all`` invocation produced."""
+
+    runs: List[ArtefactRun] = field(default_factory=list)
+    stats: Optional[EngineStats] = None
+    output_dir: Optional[Path] = None
+    elapsed_s: float = 0.0
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable closing summary for the CLI."""
+        lines = [
+            f"{run.name:<16} {run.elapsed_s:7.2f} s  -> {run.path}"
+            for run in self.runs
+        ]
+        stats = self.stats.as_dict() if self.stats is not None else {}
+        lines.append(
+            f"{len(self.runs)} artefacts in {self.elapsed_s:.2f} s; "
+            f"jobs executed: {stats.get('executed', 0)}, "
+            f"cache hits: {stats.get('cache_hits', 0)}, "
+            f"cache misses: {stats.get('cache_misses', 0)}, "
+            f"deduplicated: {stats.get('deduplicated', 0)}"
+        )
+        return lines
+
+
+def regenerate_all(
+    iteration_scale: float = 1.0,
+    seed: int = 1,
+    engine: Optional[ExperimentEngine] = None,
+    artefacts: Optional[Sequence[str]] = None,
+    results_dir: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Regenerate artefact tables through one shared engine.
+
+    Parameters
+    ----------
+    iteration_scale:
+        Application-length scale; anything other than 1.0 routes the
+        output files into the cache tree instead of ``results_dir``.
+    seed:
+        Measurement seed shared by every artefact.
+    engine:
+        Shared engine (serial and uncached when omitted).
+    artefacts:
+        Subset of artefact names to regenerate (all when omitted).
+    results_dir:
+        Where full-scale artefacts belong (default ``./results``).
+    progress:
+        Optional callback receiving one line per artefact as it starts.
+    """
+    engine = engine if engine is not None else ExperimentEngine()
+    names: Tuple[str, ...] = tuple(artefacts) if artefacts else tuple(ARTEFACTS)
+    unknown = [name for name in names if name not in ARTEFACTS]
+    if unknown:
+        raise ValueError(
+            f"unknown artefacts {unknown}; known: {', '.join(ARTEFACTS)}"
+        )
+    results_dir = results_dir if results_dir is not None else Path("results")
+    output_dir = artifact_dir(iteration_scale, results_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    report = SweepReport(output_dir=output_dir)
+    sweep_start = time.perf_counter()
+    for name in names:
+        if progress is not None:
+            progress(f"regenerating {name} ...")
+        start = time.perf_counter()
+        result = ARTEFACTS[name](
+            iteration_scale=iteration_scale, seed=seed, engine=engine
+        )
+        text = result.format_table()
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        report.runs.append(
+            ArtefactRun(
+                name=name,
+                text=text,
+                path=path,
+                elapsed_s=time.perf_counter() - start,
+            )
+        )
+    report.stats = engine.stats
+    report.elapsed_s = time.perf_counter() - sweep_start
+    return report

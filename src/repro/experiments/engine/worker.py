@@ -1,0 +1,53 @@
+"""Job execution: the function a worker process actually runs.
+
+Kept in its own module (no engine/scheduler imports) so
+``ProcessPoolExecutor`` can pickle the callable cheaply and a worker
+process only imports what one simulation needs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.engine.spec import JobSpec
+from repro.experiments.runner import RunSummary, run_scenario, run_workload
+
+
+def execute_job(spec: JobSpec) -> RunSummary:
+    """Execute one job spec serially in this process."""
+    if spec.kind == "workload":
+        kwargs = dict(
+            app=spec.app,
+            dataset=spec.dataset,
+            policy=spec.policy,
+            seed=spec.seed,
+            train_passes=spec.train_passes,
+            agent_config=spec.agent_config,
+            reliability=spec.reliability,
+            platform=spec.platform,
+            action_space=spec.action_space(),
+            ge_config=spec.ge_config,
+            mapping=spec.mapping,
+            iteration_scale=spec.iteration_scale,
+            faults=spec.faults,
+            supervisor=spec.supervisor,
+        )
+        if spec.max_time_s is not None:
+            kwargs["max_time_s"] = spec.max_time_s
+        return run_workload(**kwargs)
+    if spec.kind == "scenario":
+        kwargs = dict(
+            apps=spec.apps,
+            policy=spec.policy,
+            seed=spec.seed,
+            agent_config=spec.agent_config,
+            reliability=spec.reliability,
+            platform=spec.platform,
+            action_space=spec.action_space(),
+            ge_config=spec.ge_config,
+            iteration_scale=spec.iteration_scale,
+            faults=spec.faults,
+            supervisor=spec.supervisor,
+        )
+        if spec.max_time_s is not None:
+            kwargs["max_time_s"] = spec.max_time_s
+        return run_scenario(**kwargs)
+    raise ValueError(f"unknown job kind {spec.kind!r}")

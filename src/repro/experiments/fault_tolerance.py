@@ -21,10 +21,11 @@ cannot:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunSummary, run_workload
+from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
+from repro.experiments.runner import RunSummary
 from repro.faults.presets import default_supervisor_config, fault_config_for
 
 #: Controllers compared, in row order.
@@ -134,6 +135,7 @@ def run_fault_tolerance(
     app: str = FT_APP,
     policies: Tuple[str, ...] = FT_POLICIES,
     fault_modes: Tuple[str, ...] = FT_FAULT_MODES,
+    engine: Optional[ExperimentEngine] = None,
 ) -> FaultToleranceResult:
     """Run the full {policy} x {fault mode} x {supervisor} grid.
 
@@ -149,22 +151,32 @@ def run_fault_tolerance(
     policies / fault_modes:
         Grid axes (defaults: the headline controllers and fault modes).
     """
+    engine = default_engine(engine)
+    cells = [
+        (policy, fault_mode, supervised)
+        for policy in policies
+        for fault_mode in fault_modes
+        for supervised in (False, True)
+    ]
+    summaries = engine.run(
+        [
+            workload_job(
+                app,
+                None,
+                policy,
+                seed=seed,
+                iteration_scale=iteration_scale,
+                faults=fault_config_for(fault_mode),
+                supervisor=default_supervisor_config() if supervised else None,
+            )
+            for policy, fault_mode, supervised in cells
+        ]
+    )
     result = FaultToleranceResult()
-    for policy in policies:
-        for fault_mode in fault_modes:
-            for supervised in (False, True):
-                summary = run_workload(
-                    app,
-                    None,
-                    policy,
-                    seed=seed,
-                    iteration_scale=iteration_scale,
-                    faults=fault_config_for(fault_mode),
-                    supervisor=default_supervisor_config() if supervised else None,
-                )
-                result.rows.append(
-                    FaultToleranceRow(policy, fault_mode, supervised, summary)
-                )
+    for (policy, fault_mode, supervised), summary in zip(cells, summaries):
+        result.rows.append(
+            FaultToleranceRow(policy, fault_mode, supervised, summary)
+        )
     return result
 
 

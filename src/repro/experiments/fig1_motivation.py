@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunSummary, run_workload
+from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
+from repro.experiments.runner import RunSummary
 from repro.sched.affinity import mapping_by_name
 from repro.thermal.profile import ThermalProfile
 
@@ -79,26 +80,39 @@ class Fig1Result:
         )
 
 
-def run_fig1(iteration_scale: float = 1.0, seed: int = 1) -> Fig1Result:
+def run_fig1(
+    iteration_scale: float = 1.0,
+    seed: int = 1,
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig1Result:
     """Run the four (application, placement) combinations."""
-    result = Fig1Result()
-    for app, dataset in FIG1_APPS:
-        for placement in FIG1_PLACEMENTS:
-            mapping = (
-                mapping_by_name("paired_2211")
-                if placement == "user_paired_2211"
-                else None
-            )
-            summary = run_workload(
+    engine = default_engine(engine)
+    cells = [
+        (app, dataset, placement)
+        for app, dataset in FIG1_APPS
+        for placement in FIG1_PLACEMENTS
+    ]
+    summaries = engine.run(
+        [
+            workload_job(
                 app,
                 dataset,
                 "linux",
                 seed=seed,
-                mapping=mapping,
+                mapping=(
+                    mapping_by_name("paired_2211")
+                    if placement == "user_paired_2211"
+                    else None
+                ),
                 iteration_scale=iteration_scale,
                 train_passes=0,
             )
-            result.cells.append(Fig1Cell(app, dataset, placement, summary))
+            for app, dataset, placement in cells
+        ]
+    )
+    result = Fig1Result()
+    for (app, dataset, placement), summary in zip(cells, summaries):
+        result.cells.append(Fig1Cell(app, dataset, placement, summary))
     return result
 
 

@@ -10,10 +10,11 @@ Linux.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunSummary, run_scenario
+from repro.experiments.engine import ExperimentEngine, default_engine, scenario_job
+from repro.experiments.runner import RunSummary
 from repro.workloads.scenarios import INTER_APP_SCENARIOS, scenario_name
 
 #: The policies of Figure 3, in bar order.
@@ -69,17 +70,31 @@ class Fig3Result:
         )
 
 
-def run_fig3(iteration_scale: float = 1.0, seed: int = 1) -> Fig3Result:
+def run_fig3(
+    iteration_scale: float = 1.0,
+    seed: int = 1,
+    scenarios: Sequence[Tuple[str, ...]] = INTER_APP_SCENARIOS,
+    engine: Optional[ExperimentEngine] = None,
+) -> Fig3Result:
     """Run all six scenarios under the three policies."""
+    engine = default_engine(engine)
+    cells = [
+        (tuple(scenario), policy)
+        for scenario in scenarios
+        for policy in FIG3_POLICIES
+    ]
+    summaries = engine.run(
+        [
+            scenario_job(scenario, policy, seed=seed, iteration_scale=iteration_scale)
+            for scenario, policy in cells
+        ]
+    )
     result = Fig3Result()
-    for scenario in INTER_APP_SCENARIOS:
-        summaries = {
-            policy: run_scenario(
-                scenario, policy, seed=seed, iteration_scale=iteration_scale
-            )
-            for policy in FIG3_POLICIES
-        }
-        result.rows.append(Fig3Row(scenario, summaries))
+    by_scenario: Dict[Tuple[str, ...], Dict[str, RunSummary]] = {}
+    for (scenario, policy), summary in zip(cells, summaries):
+        by_scenario.setdefault(scenario, {})[policy] = summary
+    for scenario, row in by_scenario.items():
+        result.rows.append(Fig3Row(scenario, row))
     return result
 
 

@@ -15,7 +15,8 @@ from typing import Optional
 
 from repro.analysis.tables import format_table
 from repro.config import default_agent_config
-from repro.experiments.runner import RunSummary, run_workload
+from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
+from repro.experiments.runner import RunSummary
 from repro.thermal.profile import ThermalProfile
 
 
@@ -77,25 +78,38 @@ class Fig45Result:
 
 
 def run_fig45(
-    iteration_scale: float = 1.0, seed: int = 1, app: str = "face_rec"
+    iteration_scale: float = 1.0,
+    seed: int = 1,
+    app: str = "face_rec",
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig45Result:
     """Run the two-phase trace experiment.
 
     The managed run uses ``train_passes=0`` so its trace *starts* with
     the learning transient, exactly like the paper's Figure 4 window.
     """
+    engine = default_engine(engine)
     agent_config = default_agent_config()
-    linux = run_workload(
-        app, None, "linux", seed=seed, iteration_scale=iteration_scale, train_passes=0
-    )
-    managed = run_workload(
-        app,
-        None,
-        "proposed",
-        seed=seed,
-        iteration_scale=iteration_scale,
-        train_passes=0,
-        agent_config=agent_config,
+    linux, managed = engine.run(
+        [
+            workload_job(
+                app,
+                None,
+                "linux",
+                seed=seed,
+                iteration_scale=iteration_scale,
+                train_passes=0,
+            ),
+            workload_job(
+                app,
+                None,
+                "proposed",
+                seed=seed,
+                iteration_scale=iteration_scale,
+                train_passes=0,
+                agent_config=agent_config,
+            ),
+        ]
     )
     # The exploration/learning transient lasts roughly until alpha has
     # decayed below the exploitation threshold; use the agent's recorded

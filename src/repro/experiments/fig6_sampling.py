@@ -21,7 +21,7 @@ sampling interval.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from repro.config import (
     default_agent_config,
     default_reliability_config,
 )
-from repro.experiments.runner import run_workload
+from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
 from repro.reliability.mttf import cycling_mttf_years
 
 
@@ -89,6 +89,7 @@ def run_fig6(
     seed: int = 1,
     app: str = "tachyon",
     dataset: str = "set 2",
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig6Result:
     """Sweep the sampling interval for one workload.
 
@@ -104,36 +105,40 @@ def run_fig6(
     the autocorrelation panel — on the physical testbed it is that
     response that makes consecutive 1 s samples so similar.
     """
+    engine = default_engine(engine)
     reliability = default_reliability_config()
-    reference = run_workload(
-        app, dataset, "linux", seed=seed, iteration_scale=iteration_scale
-    )
-    profile = reference.profile
     filtered_platform = PlatformConfig(
         sensor=replace(PlatformConfig().sensor, ema_tau_s=4.0)
     )
-    filtered_reference = run_workload(
-        app,
-        dataset,
-        "linux",
-        seed=seed,
-        platform=filtered_platform,
-        iteration_scale=iteration_scale,
-    )
-    filtered_profile = filtered_reference.profile
-    result = Fig6Result()
-    for interval in intervals:
-        agent_config = replace(
-            default_agent_config(), sampling_interval_s=float(interval)
-        )
-        summary = run_workload(
+    jobs = [
+        workload_job(app, dataset, "linux", seed=seed, iteration_scale=iteration_scale),
+        workload_job(
+            app,
+            dataset,
+            "linux",
+            seed=seed,
+            platform=filtered_platform,
+            iteration_scale=iteration_scale,
+        ),
+    ] + [
+        workload_job(
             app,
             dataset,
             "proposed",
             seed=seed,
-            agent_config=agent_config,
+            agent_config=replace(
+                default_agent_config(), sampling_interval_s=float(interval)
+            ),
             iteration_scale=iteration_scale,
         )
+        for interval in intervals
+    ]
+    summaries = engine.run(jobs)
+    reference, filtered_reference = summaries[0], summaries[1]
+    profile = reference.profile
+    filtered_profile = filtered_reference.profile
+    result = Fig6Result()
+    for interval, summary in zip(intervals, summaries[2:]):
         factor = max(1, int(round(interval / profile.sample_period_s)))
         mttfs = []
         for core in range(profile.num_cores):

@@ -10,11 +10,11 @@ while large epochs stretch the learning transient.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
 from repro.config import default_agent_config
-from repro.experiments.runner import run_workload
+from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
 
 #: The applications of Figure 7.
 FIG7_APPS: Tuple[Tuple[str, str], ...] = (
@@ -74,24 +74,37 @@ def run_fig7(
     apps: Sequence[Tuple[str, str]] = FIG7_APPS,
     iteration_scale: float = 1.0,
     seed: int = 1,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig7Result:
     """Sweep the decision epoch for each application."""
+    engine = default_engine(engine)
+    jobs = []
+    for app, dataset in apps:
+        jobs.append(
+            workload_job(
+                app, dataset, "linux", seed=seed, iteration_scale=iteration_scale
+            )
+        )
+        for epoch in epochs:
+            jobs.append(
+                workload_job(
+                    app,
+                    dataset,
+                    "proposed",
+                    seed=seed,
+                    agent_config=replace(
+                        default_agent_config(), decision_epoch_s=epoch
+                    ),
+                    iteration_scale=iteration_scale,
+                )
+            )
+    summaries = iter(engine.run(jobs))
     result = Fig7Result()
     for app, dataset in apps:
-        linux = run_workload(
-            app, dataset, "linux", seed=seed, iteration_scale=iteration_scale
-        )
+        linux = next(summaries)
         app_rows: List[Fig7Row] = []
         for epoch in epochs:
-            agent_config = replace(default_agent_config(), decision_epoch_s=epoch)
-            summary = run_workload(
-                app,
-                dataset,
-                "proposed",
-                seed=seed,
-                agent_config=agent_config,
-                iteration_scale=iteration_scale,
-            )
+            summary = next(summaries)
             # Training time: epochs until the agent enters pure
             # exploitation (the alpha schedule's natural horizon).
             training_epochs = summary.manager_stats.get(

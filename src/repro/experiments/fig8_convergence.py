@@ -10,12 +10,12 @@ the agent finer control.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
 from repro.config import default_agent_config
 from repro.core.actions import build_action_space
-from repro.experiments.runner import run_workload
+from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
 
 #: (num_states, (num_aging_bins, num_stress_bins)) design points.
 STATE_GRID: Tuple[Tuple[int, Tuple[int, int]], ...] = (
@@ -72,46 +72,56 @@ def run_fig8(
     seed: int = 1,
     app: str = "mpeg_dec",
     dataset: str = "clip 1",
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig8Result:
     """Sweep the Q-table dimensions for one workload."""
-    result = Fig8Result()
-    for num_states, (aging_bins, stress_bins) in state_grid:
-        for num_actions in action_grid:
-            agent_config = replace(
-                default_agent_config(),
-                num_aging_bins=aging_bins,
-                num_stress_bins=stress_bins,
-                num_actions=num_actions,
-            )
-            summary = run_workload(
+    engine = default_engine(engine)
+    cells = [
+        (num_states, aging_bins, stress_bins, num_actions)
+        for num_states, (aging_bins, stress_bins) in state_grid
+        for num_actions in action_grid
+    ]
+    summaries = engine.run(
+        [
+            workload_job(
                 app,
                 dataset,
                 "proposed",
                 seed=seed,
-                agent_config=agent_config,
+                agent_config=replace(
+                    default_agent_config(),
+                    num_aging_bins=aging_bins,
+                    num_stress_bins=stress_bins,
+                    num_actions=num_actions,
+                ),
                 action_space=build_action_space(num_actions),
                 iteration_scale=iteration_scale,
             )
-            # Convergence: the agent has both finished its schedule-driven
-            # training (exploitation entry scales with the table size,
-            # because coverage demands it) and stopped changing its
-            # greedy policy.  A run that never reached exploitation is
-            # censored at its full epoch count.
-            entry = summary.manager_stats.get("exploitation_entry_epoch", -1.0)
-            if entry <= 0.0:
-                entry = summary.manager_stats.get("epochs", 0.0)
-            iterations = max(
-                entry, summary.manager_stats.get("last_policy_change_epoch", 0.0)
+            for num_states, aging_bins, stress_bins, num_actions in cells
+        ]
+    )
+    result = Fig8Result()
+    for (num_states, _, _, num_actions), summary in zip(cells, summaries):
+        # Convergence: the agent has both finished its schedule-driven
+        # training (exploitation entry scales with the table size,
+        # because coverage demands it) and stopped changing its
+        # greedy policy.  A run that never reached exploitation is
+        # censored at its full epoch count.
+        entry = summary.manager_stats.get("exploitation_entry_epoch", -1.0)
+        if entry <= 0.0:
+            entry = summary.manager_stats.get("epochs", 0.0)
+        iterations = max(
+            entry, summary.manager_stats.get("last_policy_change_epoch", 0.0)
+        )
+        result.rows.append(
+            Fig8Row(
+                num_states=num_states,
+                num_actions=num_actions,
+                iterations_to_converge=iterations,
+                cycling_mttf_years=summary.cycling_mttf_years,
+                aging_mttf_years=summary.aging_mttf_years,
             )
-            result.rows.append(
-                Fig8Row(
-                    num_states=num_states,
-                    num_actions=num_actions,
-                    iterations_to_converge=iterations,
-                    cycling_mttf_years=summary.cycling_mttf_years,
-                    aging_mttf_years=summary.aging_mttf_years,
-                )
-            )
+        )
     return result
 
 

@@ -11,10 +11,11 @@ of Section 6.5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunSummary, run_workload
+from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
+from repro.experiments.runner import RunSummary
 from repro.experiments.table3_exec_time import TABLE3_APPS, TABLE3_POLICIES
 
 
@@ -81,15 +82,28 @@ def run_fig9(
     iteration_scale: float = 1.0,
     seed: int = 1,
     apps: Tuple[str, ...] = TABLE3_APPS,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig9Result:
-    """Run the power/energy grid."""
+    """Run the power/energy grid.
+
+    The grid is the same (app, policy, seed) set as Table 3, so with a
+    cache-backed engine the whole figure resolves from cache after a
+    ``repro all`` has regenerated Table 3.
+    """
+    engine = default_engine(engine)
+    cells = [(app, policy) for app in apps for policy in TABLE3_POLICIES]
+    results = engine.run(
+        [
+            workload_job(app, None, policy, seed=seed, iteration_scale=iteration_scale)
+            for app, policy in cells
+        ]
+    )
     result = Fig9Result()
     for app in apps:
         summaries = {
-            policy: run_workload(
-                app, None, policy, seed=seed, iteration_scale=iteration_scale
-            )
-            for policy in TABLE3_POLICIES
+            policy: summary
+            for (cell_app, policy), summary in zip(cells, results)
+            if cell_app == app
         }
         dataset = next(iter(summaries.values())).dataset
         result.rows.append(Fig9Row(app, dataset, summaries))

@@ -50,6 +50,29 @@ POLICIES: Tuple[str, ...] = (
 WARMUP_SKIP_S = 60.0
 
 
+def _validate_policy(policy: str) -> None:
+    """Reject unknown policy names before any simulation work starts.
+
+    Raises
+    ------
+    ValueError
+        With the full allowed list, so a typo in a sweep definition
+        fails immediately and readably rather than mid-grid.
+    """
+    if policy in POLICIES:
+        return
+    if policy.startswith("userspace@"):
+        try:
+            float(policy.split("@", 1)[1])
+            return
+        except ValueError:
+            pass
+    raise ValueError(
+        f"unknown policy {policy!r}; allowed policies: {', '.join(POLICIES)} "
+        "(or 'userspace@<GHz>' for any fixed frequency)"
+    )
+
+
 @dataclass
 class RunSummary:
     """Every metric the experiments report for one (workload, policy)."""
@@ -230,6 +253,7 @@ def run_workload(
         :mod:`repro.faults`); both default to off, leaving the run
         bit-identical to the fault-free engine.
     """
+    _validate_policy(policy)
     reliability = (
         reliability if reliability is not None else default_reliability_config()
     )
@@ -258,7 +282,21 @@ def run_workload(
     measured = result.app_records[train_passes:]
     if measured:
         start = measured[0].start_s + WARMUP_SKIP_S * (1 if train_passes == 0 else 0)
-        window = result.profile.window(start, measured[-1].end_s)
+        end = measured[-1].end_s
+        if end <= start:
+            raise ValueError(
+                f"empty measurement window for {app!r} under {policy!r}: the "
+                f"measured pass ends at {end:.1f} s, inside the "
+                f"{WARMUP_SKIP_S:.0f} s warm-up skip; increase the run length "
+                "(iteration_scale) or train first (train_passes >= 1)"
+            )
+        window = result.profile.window(start, end)
+        if len(window) == 0:
+            raise ValueError(
+                f"empty measurement window for {app!r} under {policy!r}: "
+                f"[{start:.1f} s, {end:.1f} s) holds no sensor sample at the "
+                f"{result.profile.sample_period_s:g} s sampling period"
+            )
     else:  # the run timed out before the measurement pass
         window = result.profile
     return _summarise(
@@ -306,6 +344,7 @@ def run_scenario(
     window covers the whole scenario (minus the cold-start warm-up)
     because the application *switches* are the phenomenon under test.
     """
+    _validate_policy(policy)
     reliability = (
         reliability if reliability is not None else default_reliability_config()
     )
@@ -328,6 +367,13 @@ def run_scenario(
         supervisor=supervisor,
     )
     result = sim.run()
+    if result.total_time_s <= WARMUP_SKIP_S:
+        raise ValueError(
+            f"empty measurement window for scenario {'-'.join(apps)!r} under "
+            f"{policy!r}: the whole scenario lasts {result.total_time_s:.1f} s, "
+            f"not longer than the {WARMUP_SKIP_S:.0f} s warm-up skip; increase "
+            "the run length (iteration_scale)"
+        )
     window = result.profile.window(WARMUP_SKIP_S, result.total_time_s)
     return _summarise(
         result,

@@ -10,10 +10,11 @@ Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunSummary, run_workload
+from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
+from repro.experiments.runner import RunSummary
 from repro.workloads.datasets import dataset_names_for
 
 #: The applications and datasets of Table 2.
@@ -77,6 +78,7 @@ def run_table2(
     iteration_scale: float = 1.0,
     seed: int = 1,
     workloads: Tuple[str, ...] = TABLE2_WORKLOADS,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Table2Result:
     """Run the full Table 2 grid.
 
@@ -88,21 +90,31 @@ def run_table2(
         Measurement seed shared by all policies.
     workloads:
         Applications to include (the paper's three by default).
+    engine:
+        Experiment engine to submit the grid through (serial uncached
+        execution when omitted).
     """
+    engine = default_engine(engine)
+    cells = [
+        (app, dataset, policy)
+        for app in workloads
+        for dataset in dataset_names_for(app)
+        for policy in TABLE2_POLICIES
+    ]
+    summaries = engine.run(
+        [
+            workload_job(
+                app, dataset, policy, seed=seed, iteration_scale=iteration_scale
+            )
+            for app, dataset, policy in cells
+        ]
+    )
     result = Table2Result()
-    for app in workloads:
-        for dataset in dataset_names_for(app):
-            summaries = {
-                policy: run_workload(
-                    app,
-                    dataset,
-                    policy,
-                    seed=seed,
-                    iteration_scale=iteration_scale,
-                )
-                for policy in TABLE2_POLICIES
-            }
-            result.rows.append(Table2Row(app, dataset, summaries))
+    by_cell: Dict[Tuple[str, str], Dict[str, RunSummary]] = {}
+    for (app, dataset, policy), summary in zip(cells, summaries):
+        by_cell.setdefault((app, dataset), {})[policy] = summary
+    for (app, dataset), row in by_cell.items():
+        result.rows.append(Table2Row(app, dataset, row))
     return result
 
 

@@ -9,10 +9,11 @@ proposed approach.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunSummary, run_workload
+from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
+from repro.experiments.runner import RunSummary
 
 #: The policies of Table 3, in column order.
 TABLE3_POLICIES: Tuple[str, ...] = (
@@ -66,15 +67,23 @@ def run_table3(
     iteration_scale: float = 1.0,
     seed: int = 1,
     apps: Tuple[str, ...] = TABLE3_APPS,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Table3Result:
     """Run the execution-time grid."""
+    engine = default_engine(engine)
+    cells = [(app, policy) for app in apps for policy in TABLE3_POLICIES]
+    results = engine.run(
+        [
+            workload_job(app, None, policy, seed=seed, iteration_scale=iteration_scale)
+            for app, policy in cells
+        ]
+    )
     result = Table3Result()
     for app in apps:
         summaries = {
-            policy: run_workload(
-                app, None, policy, seed=seed, iteration_scale=iteration_scale
-            )
-            for policy in TABLE3_POLICIES
+            policy: summary
+            for (cell_app, policy), summary in zip(cells, results)
+            if cell_app == app
         }
         dataset = next(iter(summaries.values())).dataset
         result.rows.append(Table3Row(app, dataset, summaries))

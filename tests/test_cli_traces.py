@@ -46,10 +46,29 @@ def test_cli_run_workload(capsys):
     assert "cycling MTTF" in out
 
 
-def test_cli_artefact_prints_table(capsys):
+def test_cli_artefact_prints_table(capsys, tmp_path, monkeypatch):
+    # Artefact commands cache by default; keep the cache out of the repo.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     assert main(["fig1", "--scale", "0.15"]) == 0
     out = capsys.readouterr().out
     assert "Figure 1" in out
+
+
+def test_cli_artefact_no_cache_leaves_no_cache_dir(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["fig1", "--scale", "0.15", "--no-cache"]) == 0
+    assert "Figure 1" in capsys.readouterr().out
+    assert not (tmp_path / "cache").exists()
+
+
+def test_cli_all_subset(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(
+        ["all", "--scale", "0.15", "--only", "fig1", "--jobs", "2", "--quiet"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "jobs executed:" in out
+    assert (tmp_path / "results-scale-0.15" / "fig1.txt").exists()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,96 @@
+"""Golden-master regression tests for every paper artefact.
+
+Each case regenerates one artefact at a reduced grid (``scale`` 0.12 is
+the smallest scale at which every application clears the warm-up skip)
+and compares the formatted table byte-for-byte against a committed
+golden file under ``tests/golden/``.  Any drift fails with a readable
+unified diff.
+
+The simulations are fully deterministic, so these goldens are stable
+across machines and worker counts; they only change when the model
+itself changes.  When that happens intentionally, regenerate them with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_artefacts.py
+
+and commit the refreshed files together with the model change.
+"""
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.engine import ExperimentEngine, ResultCache
+from repro.experiments.engine.sweep import ARTEFACTS
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Smallest scale at which every app clears the 60 s warm-up skip.
+SCALE = 0.12
+
+#: Reduced grid per artefact: big enough to exercise every code path of
+#: the experiment (multiple rows, multiple policies), small enough that
+#: the whole suite regenerates in well under a minute.
+CASES = {
+    "fig1": {},
+    "table2": {"workloads": ("mpeg_dec",)},
+    "fig3": {"scenarios": (("mpeg_dec", "tachyon"), ("tachyon", "mpeg_dec"))},
+    "fig45": {},
+    "fig6": {"intervals": (1, 5, 10)},
+    "fig7": {"epochs": (5.0, 30.0), "apps": (("mpeg_dec", "clip 1"),)},
+    "fig8": {"state_grid": ((4, (2, 2)),), "action_grid": (4, 8)},
+    "table3": {"apps": ("mpeg_dec",)},
+    "fig9": {"apps": ("mpeg_enc",)},
+    "ablation": {
+        "variants": ("full", "no_decoupling"),
+        "workloads": (("mpeg_dec", "clip 1"),),
+    },
+    "fault_tolerance": {
+        "policies": ("linux", "proposed"),
+        "fault_modes": ("none", "sensor"),
+    },
+}
+
+
+def test_every_artefact_has_a_golden_case():
+    assert set(CASES) == set(ARTEFACTS)
+
+
+@pytest.fixture(scope="module")
+def engine(tmp_path_factory):
+    """One shared engine so overlapping grids resolve from the cache."""
+    root = tmp_path_factory.mktemp("golden-cache")
+    return ExperimentEngine(jobs=1, cache=ResultCache(root=root))
+
+
+@pytest.mark.parametrize("name", list(CASES), ids=list(CASES))
+def test_artefact_matches_golden(name, engine):
+    result = ARTEFACTS[name](iteration_scale=SCALE, seed=1, engine=engine, **CASES[name])
+    text = result.format_table() + "\n"
+    golden_path = GOLDEN_DIR / f"{name}.txt"
+
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(text)
+        pytest.skip(f"regenerated {golden_path}")
+
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; generate it with "
+        "REPRO_REGEN_GOLDEN=1 pytest tests/test_golden_artefacts.py"
+    )
+    golden = golden_path.read_text()
+    if text != golden:
+        diff = "".join(
+            difflib.unified_diff(
+                golden.splitlines(keepends=True),
+                text.splitlines(keepends=True),
+                fromfile=f"golden/{name}.txt",
+                tofile=f"regenerated {name}",
+            )
+        )
+        pytest.fail(
+            f"artefact {name!r} drifted from its golden master:\n{diff}\n"
+            "If the change is intentional, regenerate the goldens with "
+            "REPRO_REGEN_GOLDEN=1 and commit them with the model change."
+        )

@@ -1,0 +1,95 @@
+"""Acceptance tests for ``repro all``: parallel + cached == serial.
+
+Three full sweeps at reduced scale (everything the ``repro all`` command
+does, minus argument parsing):
+
+* **serial** — ``--jobs 1 --no-cache``, the original serial code path;
+* **parallel** — ``--jobs 4`` with a cold content-addressed cache;
+* **warm** — the same sweep again on the now-warm cache.
+
+The parallel sweep must write byte-identical artefact files, and the
+warm sweep must execute zero jobs.  Each sweep gets its output routed
+into a temporary cache tree via ``REPRO_CACHE_DIR`` so the committed
+``results/`` artefacts are never touched.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.engine import ExperimentEngine, ResultCache
+from repro.experiments.engine.sweep import ARTEFACTS, regenerate_all
+
+#: Smallest scale at which every app clears the 60 s warm-up skip.
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def sweeps(tmp_path_factory):
+    """Run the three sweeps once; every test inspects the reports."""
+    serial_root = tmp_path_factory.mktemp("serial-root")
+    parallel_root = tmp_path_factory.mktemp("parallel-root")
+
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setenv("REPRO_CACHE_DIR", str(serial_root))
+        serial = regenerate_all(
+            iteration_scale=SCALE, seed=1, engine=ExperimentEngine(jobs=1)
+        )
+
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setenv("REPRO_CACHE_DIR", str(parallel_root))
+        # The caches are constructed inside the patched environment so
+        # they land in the temporary root, exactly as the CLI would.
+        parallel = regenerate_all(
+            iteration_scale=SCALE,
+            seed=1,
+            engine=ExperimentEngine(jobs=4, cache=ResultCache()),
+        )
+        warm = regenerate_all(
+            iteration_scale=SCALE,
+            seed=1,
+            engine=ExperimentEngine(jobs=4, cache=ResultCache()),
+        )
+
+    return {"serial": serial, "parallel": parallel, "warm": warm}
+
+
+def test_all_artefacts_written(sweeps):
+    for report in sweeps.values():
+        assert [run.name for run in report.runs] == list(ARTEFACTS)
+        for run in report.runs:
+            assert run.path.exists()
+
+
+def test_parallel_cached_output_is_bit_identical_to_serial(sweeps):
+    serial, parallel = sweeps["serial"], sweeps["parallel"]
+    assert serial.output_dir != parallel.output_dir
+    for name in ARTEFACTS:
+        serial_bytes = (serial.output_dir / f"{name}.txt").read_bytes()
+        parallel_bytes = (parallel.output_dir / f"{name}.txt").read_bytes()
+        assert serial_bytes == parallel_bytes, (
+            f"{name}: parallel+cached sweep diverged from the serial sweep"
+        )
+
+
+def test_warm_cache_rerun_executes_zero_jobs(sweeps):
+    warm = sweeps["warm"]
+    stats = warm.stats.as_dict()
+    assert stats["executed"] == 0
+    assert stats["cache_misses"] == 0
+    assert stats["cache_hits"] > 0
+    for warm_run, serial_run in zip(warm.runs, sweeps["serial"].runs):
+        assert warm_run.text == serial_run.text
+
+
+def test_serial_engine_ran_uncached(sweeps):
+    stats = sweeps["serial"].stats.as_dict()
+    assert stats["cache_hits"] == 0
+    assert stats["executed"] > 0
+
+
+def test_scaled_sweeps_never_touch_committed_results(sweeps):
+    committed = (Path(__file__).resolve().parent.parent / "results").resolve()
+    for report in sweeps.values():
+        assert report.output_dir.resolve() != committed
+        assert committed not in report.output_dir.resolve().parents

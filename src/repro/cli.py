@@ -7,6 +7,8 @@
     python -m repro table2            # Table 2
     python -m repro fig3 --scale 0.5  # Figure 3 at half length
     python -m repro run tachyon --dataset "set 1" --policy proposed
+    python -m repro run tachyon --profile   # + cProfile hot-spot dump
+    python -m repro bench             # tick-loop benchmark -> BENCH_PR3.json
     python -m repro list              # available artefacts & policies
 
 Every artefact command prints the same console table its benchmark
@@ -106,6 +108,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable the sensor/actuation supervision layer",
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the tick loop and write BENCH_PR3.json"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer ticks and repeats",
+    )
+    bench.add_argument(
+        "--ticks", type=int, default=None, help="measured ticks per run"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None, help="timed runs per workload"
+    )
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument(
+        "--output",
+        default="BENCH_PR3.json",
+        help="where to write the JSON report (default BENCH_PR3.json)",
+    )
+    bench.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="fail (exit 1) if ticks/sec regresses below this report",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown vs the baseline (default 0.30)",
+    )
 
     sub.add_parser("list", help="list artefacts, applications and policies")
     return parser
@@ -138,6 +178,12 @@ def _command_all(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     summary = run_workload(
         args.app,
         args.dataset,
@@ -147,6 +193,14 @@ def _command_run(args: argparse.Namespace) -> int:
         faults=fault_config_for(args.faults),
         supervisor=default_supervisor_config() if args.supervised else None,
     )
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        print(f"profile of `repro run {args.app} --policy {args.policy}`:")
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(25)
+        stats.sort_stats("tottime").print_stats(15)
     print(f"{summary.app} ({summary.dataset}) under {summary.policy}:")
     print(f"  average temperature : {summary.average_temp_c:8.1f} C")
     print(f"  peak temperature    : {summary.peak_temp_c:8.1f} C")
@@ -175,6 +229,39 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.perf import bench
+
+    baseline = None
+    if args.check_against is not None:
+        baseline = bench.load_report(args.check_against)
+    report = bench.run_bench(
+        quick=args.quick,
+        ticks=args.ticks,
+        repeats=args.repeats,
+        seed=args.seed,
+        progress=print,
+    )
+    bench.write_report(report, args.output)
+    print()
+    print(bench.format_report(report))
+    print(f"report written to {args.output}")
+    if baseline is not None:
+        failures = bench.check_regression(
+            report, baseline, max_regression=args.max_regression
+        )
+        if failures:
+            print(f"REGRESSION vs {args.check_against}:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(
+            f"no regression vs {args.check_against} "
+            f"(tolerance {args.max_regression:.0%})"
+        )
+    return 0
+
+
 def _command_list() -> int:
     print("artefacts   :", ", ".join(ARTEFACTS))
     print("applications:", ", ".join(APP_NAMES))
@@ -190,6 +277,8 @@ def main(argv=None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "bench":
+        return _command_bench(args)
     if args.command == "all":
         return _command_all(args)
     experiment = ARTEFACTS[args.command]

@@ -1,0 +1,24 @@
+"""Performance instrumentation for the simulation's tick loop.
+
+Two complementary tools:
+
+* :mod:`repro.perf.timer` — a :class:`~repro.perf.timer.SectionTimer`
+  the engine (and chip) feed per-phase wall-clock accounting into, so a
+  run can report where its tick time goes
+  (schedule/app/governor/power/thermal/sensors/manager);
+* :mod:`repro.perf.bench` — the ``repro bench`` harness: runs the
+  representative workload mix, measures ticks/sec (uninstrumented) and
+  the per-phase split (instrumented), compares against the recorded
+  seed numbers and writes ``BENCH_PR3.json``.
+
+Only the timer is re-exported here: the bench module imports the whole
+simulation stack (which itself imports the timer), so it must be pulled
+in explicitly as ``repro.perf.bench`` to keep imports acyclic.
+
+This is wall-clock tooling about the *simulator*; the simulated
+platform's own counters live in :mod:`repro.sched.perf`.
+"""
+
+from repro.perf.timer import SectionTimer
+
+__all__ = ["SectionTimer"]

@@ -1,0 +1,260 @@
+"""The ``repro bench`` harness: tick-loop throughput + phase accounting.
+
+Runs the default quad-core workload mix (a barrier-heavy app and a
+work-queue app under plain Linux behaviour, plus the learning agent) and
+reports, per workload:
+
+* **ticks/sec** — wall-clock throughput of ``Simulation.step`` with no
+  instrumentation attached (best of N fresh runs, after a warmup);
+* **speedup vs. seed** — against :data:`SEED_TICKS_PER_S`, the numbers
+  measured on the seed (pre fast-path) implementation with this same
+  harness shape (200-tick warmup, best-of-3, 20k measured ticks);
+* **per-phase split** — a second, instrumented run with a
+  :class:`~repro.perf.timer.SectionTimer` attached: seconds and
+  ticks/sec for schedule/app/governor/power/thermal/sensors/manager.
+
+The report is written to ``BENCH_PR3.json``; CI reruns ``repro bench
+--quick`` and fails when throughput regresses more than 30% below the
+committed numbers (see ``--check-against``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.experiments.runner import _make_app, build_manager
+from repro.perf.timer import SectionTimer
+from repro.soc.simulator import Simulation
+
+#: Ticks stepped before the measured window (JIT-free Python still
+#: benefits: allocator, branch history, warm caches).
+WARMUP_TICKS = 200
+
+#: Seed-implementation throughput (ticks/sec) measured with this harness
+#: at commit c4d2d17 (pre fast-path): 200-tick warmup, 20000 measured
+#: ticks, best of 3, default platform, seed 1.  The denominators of every
+#: speedup this module reports.
+SEED_TICKS_PER_S: Dict[str, float] = {
+    "tachyon/linux": 12012.4,
+    "mpeg_dec/linux": 9899.0,
+    "face_rec/proposed": 11396.9,
+}
+
+
+class BenchWorkload(NamedTuple):
+    """One benchmarked (application, policy) pair."""
+
+    key: str
+    app: str
+    policy: str
+
+
+#: The default quad-core workload mix: one barrier app and one
+#: work-queue app under the Linux default path (scheduler + ondemand
+#: dominate), plus the full learning agent (manager on the tick path).
+WORKLOADS: Tuple[BenchWorkload, ...] = (
+    BenchWorkload("tachyon/linux", "tachyon", "linux"),
+    BenchWorkload("mpeg_dec/linux", "mpeg_dec", "linux"),
+    BenchWorkload("face_rec/proposed", "face_rec", "proposed"),
+)
+
+
+def _build_simulation(app: str, policy: str, seed: int) -> Simulation:
+    """A prepared simulation mirroring the experiment runner's wiring."""
+    application = _make_app(app, None, seed=seed, scale=1.0)
+    manager, governor, userspace_hz = build_manager(policy)
+    sim = Simulation(
+        [application],
+        governor=governor,
+        userspace_frequency_hz=userspace_hz,
+        manager=manager,
+        seed=seed,
+        max_time_s=None,
+    )
+    sim.prepare()
+    return sim
+
+
+def _measure_once(
+    app: str, policy: str, ticks: int, seed: int, timer: Optional[SectionTimer] = None
+) -> Tuple[int, float]:
+    """One fresh run: warm up, then step ``ticks`` times under the clock.
+
+    Returns ``(ticks_stepped, elapsed_seconds)``; stops early if the
+    application finishes (the tick counts below stay well inside every
+    app's full length).
+    """
+    sim = _build_simulation(app, policy, seed)
+    if timer is not None:
+        sim.attach_timer(timer)
+    for _ in range(WARMUP_TICKS):
+        sim.step()
+    stepped = 0
+    start = time.perf_counter()
+    while stepped < ticks:
+        sim.step()
+        stepped += 1
+        if sim.current_app.done:
+            break
+    return stepped, time.perf_counter() - start
+
+
+def run_bench(
+    quick: bool = False,
+    ticks: Optional[int] = None,
+    repeats: Optional[int] = None,
+    seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Benchmark the workload mix and build the ``BENCH_PR3`` report.
+
+    Parameters
+    ----------
+    quick:
+        CI smoke mode: fewer ticks and repeats (noisier, much faster).
+    ticks:
+        Measured ticks per run (overrides the mode default).
+    repeats:
+        Timed fresh runs per workload; the best one is reported.
+    seed:
+        Simulation seed (identical dynamics across repeats).
+    progress:
+        Optional sink for one line per finished workload.
+    """
+    if ticks is None:
+        ticks = 3000 if quick else 20000
+    if repeats is None:
+        repeats = 2 if quick else 3
+    if ticks <= 0:
+        raise ValueError("ticks must be positive")
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+
+    workloads: Dict[str, Any] = {}
+    speedups: List[float] = []
+    for workload in WORKLOADS:
+        best_rate = 0.0
+        for _ in range(repeats):
+            stepped, elapsed = _measure_once(
+                workload.app, workload.policy, ticks, seed
+            )
+            if elapsed > 0.0:
+                best_rate = max(best_rate, stepped / elapsed)
+        timer = SectionTimer()
+        _measure_once(workload.app, workload.policy, ticks, seed, timer=timer)
+        phase_seconds = timer.totals()
+        phase_ticks_per_s = {
+            section: (timer.ticks / seconds if seconds > 0.0 else 0.0)
+            for section, seconds in phase_seconds.items()
+        }
+        seed_rate = SEED_TICKS_PER_S.get(workload.key)
+        speedup = best_rate / seed_rate if seed_rate else None
+        if speedup is not None:
+            speedups.append(speedup)
+        workloads[workload.key] = {
+            "app": workload.app,
+            "policy": workload.policy,
+            "measured_ticks": ticks,
+            "ticks_per_s": round(best_rate, 1),
+            "seed_ticks_per_s": seed_rate,
+            "speedup_vs_seed": round(speedup, 2) if speedup is not None else None,
+            "phase_seconds": {k: round(v, 4) for k, v in phase_seconds.items()},
+            "phase_fractions": {k: round(v, 3) for k, v in timer.fractions().items()},
+            "phase_ticks_per_s": {
+                k: round(v, 1) for k, v in phase_ticks_per_s.items()
+            },
+        }
+        if progress is not None:
+            progress(
+                f"{workload.key:<20} {best_rate:>9.0f} ticks/s"
+                + (f"  ({speedup:.2f}x seed)" if speedup is not None else "")
+            )
+
+    geomean = None
+    if speedups:
+        product = 1.0
+        for value in speedups:
+            product *= value
+        geomean = round(product ** (1.0 / len(speedups)), 2)
+    return {
+        "label": "BENCH_PR3",
+        "mode": "quick" if quick else "full",
+        "measured_ticks": ticks,
+        "repeats": repeats,
+        "seed": seed,
+        "warmup_ticks": WARMUP_TICKS,
+        "workloads": workloads,
+        "geomean_speedup_vs_seed": geomean,
+    }
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable table of a bench report."""
+    lines = [
+        f"tick-loop benchmark ({report['mode']}, "
+        f"{report['measured_ticks']} ticks x {report['repeats']} repeats)",
+        f"{'workload':<20} {'ticks/s':>10} {'seed':>10} {'speedup':>8}",
+    ]
+    for key, entry in report["workloads"].items():
+        seed_rate = entry["seed_ticks_per_s"]
+        speedup = entry["speedup_vs_seed"]
+        lines.append(
+            f"{key:<20} {entry['ticks_per_s']:>10.0f} "
+            f"{seed_rate if seed_rate is not None else float('nan'):>10.0f} "
+            f"{(str(speedup) + 'x') if speedup is not None else '-':>8}"
+        )
+        fractions = entry["phase_fractions"]
+        if fractions:
+            split = ", ".join(
+                f"{section} {fraction:.0%}" for section, fraction in fractions.items()
+            )
+            lines.append(f"{'':<20}   phase split: {split}")
+    geomean = report.get("geomean_speedup_vs_seed")
+    if geomean is not None:
+        lines.append(f"geomean speedup vs seed: {geomean}x")
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a bench report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a previously written bench report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_regression(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.30,
+) -> List[str]:
+    """Compare a fresh report against a committed baseline.
+
+    Returns one message per workload whose ticks/sec fell more than
+    ``max_regression`` below the baseline's (empty list = pass).
+    Workloads missing from either report are skipped: the gate guards
+    against slowdowns, not benchmark-set drift.
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ValueError("max_regression must be in [0, 1)")
+    failures = []
+    baseline_workloads = baseline.get("workloads", {})
+    for key, entry in report.get("workloads", {}).items():
+        reference = baseline_workloads.get(key)
+        if reference is None:
+            continue
+        floor = reference["ticks_per_s"] * (1.0 - max_regression)
+        if entry["ticks_per_s"] < floor:
+            failures.append(
+                f"{key}: {entry['ticks_per_s']:.0f} ticks/s is below "
+                f"{floor:.0f} (baseline {reference['ticks_per_s']:.0f} "
+                f"- {max_regression:.0%})"
+            )
+    return failures

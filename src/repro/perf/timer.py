@@ -1,0 +1,69 @@
+"""Lightweight per-section wall-clock accounting for the tick loop.
+
+A :class:`SectionTimer` accumulates elapsed ``time.perf_counter``
+seconds into named sections.  The engine brackets each phase of
+``Simulation.step`` with :meth:`now`/:meth:`lap` calls; the chip does
+the same for its power-evaluation and thermal-integration halves.  When
+no timer is attached the hot loop pays exactly one ``is not None`` check
+per phase, so instrumentation is free unless asked for.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+
+class SectionTimer:
+    """Accumulates wall-clock seconds per named tick-loop section."""
+
+    __slots__ = ("_totals", "ticks")
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self.ticks = 0
+
+    @staticmethod
+    def now() -> float:
+        """A monotonic timestamp to pass back into :meth:`lap`."""
+        return time.perf_counter()
+
+    def lap(self, section: str, since: float) -> float:
+        """Charge the time since ``since`` to ``section``.
+
+        Returns the current timestamp so consecutive phases chain:
+        ``mark = timer.lap("schedule", mark)``.
+        """
+        now = time.perf_counter()
+        totals = self._totals
+        totals[section] = totals.get(section, 0.0) + (now - since)
+        return now
+
+    def add(self, section: str, seconds: float) -> None:
+        """Charge an externally measured duration to ``section``."""
+        totals = self._totals
+        totals[section] = totals.get(section, 0.0) + seconds
+
+    def count_tick(self) -> None:
+        """Record that one full tick passed through the loop."""
+        self.ticks += 1
+
+    def totals(self) -> Dict[str, float]:
+        """Accumulated seconds per section (sorted by cost, descending)."""
+        return dict(
+            sorted(self._totals.items(), key=lambda item: item[1], reverse=True)
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        """Each section's share of the total accounted time."""
+        total = sum(self._totals.values())
+        if total <= 0.0:
+            return {section: 0.0 for section in self._totals}
+        return {
+            section: seconds / total for section, seconds in self.totals().items()
+        }
+
+    def reset(self) -> None:
+        """Zero all sections and the tick count."""
+        self._totals.clear()
+        self.ticks = 0

@@ -10,12 +10,22 @@ chip's power is produced by the model that drives the thermal network:
   power (the channel through which cooling saves leakage energy, the
   15%/11% numbers at the end of Section 6.5);
 * :mod:`repro.power.energy` — the accumulating meter the experiments
-  read, playing the role of likwid-powermeter.
+  read, playing the role of likwid-powermeter;
+* :mod:`repro.power.table` — per-OPP precomputed constants backing the
+  chip's allocation-free tick loop.
 """
 
 from repro.power.dynamic import dynamic_power_w
 from repro.power.energy import EnergyMeter
 from repro.power.leakage import leakage_power_w
 from repro.power.opp import OppLadder
+from repro.power.table import OppPowerEntry, PowerTable
 
-__all__ = ["EnergyMeter", "OppLadder", "dynamic_power_w", "leakage_power_w"]
+__all__ = [
+    "EnergyMeter",
+    "OppLadder",
+    "OppPowerEntry",
+    "PowerTable",
+    "dynamic_power_w",
+    "leakage_power_w",
+]

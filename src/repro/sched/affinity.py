@@ -17,9 +17,13 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 Mask = Optional[FrozenSet[int]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class AffinityMapping:
     """Per-thread affinity masks.
+
+    Two mappings are equal when their masks are equal — the name is a
+    label, not part of the constraint — so a supervisor that rebuilds an
+    equal-but-distinct mapping still verifies as "in force".
 
     Attributes
     ----------
@@ -32,6 +36,14 @@ class AffinityMapping:
 
     name: str
     masks: Tuple[Mask, ...]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffinityMapping):
+            return NotImplemented
+        return self.masks == other.masks
+
+    def __hash__(self) -> int:
+        return hash(self.masks)
 
     @property
     def num_threads(self) -> int:

@@ -27,6 +27,13 @@ class Governor:
     #: cpufreq-style name; subclasses override.
     name = "base"
 
+    #: Whether the governor scales frequencies from observed utilisation.
+    #: Adaptive governors accept :meth:`inherit_frequencies` on a governor
+    #: switch so the clock ramps from where the previous governor left it;
+    #: fixed-point governors (performance/powersave/userspace) ignore the
+    #: previous state by definition.
+    adaptive = False
+
     def __init__(self, ladder: OppLadder, num_cores: int) -> None:
         self.ladder = ladder
         self.num_cores = num_cores
@@ -35,6 +42,18 @@ class Governor:
     def frequencies(self) -> List[float]:
         """Current per-core frequencies in hertz."""
         return list(self._frequencies)
+
+    def inherit_frequencies(self, frequencies_hz: Sequence[float]) -> None:
+        """Adopt the per-core frequencies a predecessor governor set.
+
+        Called on a governor switch so an adaptive governor starts from
+        the running clocks instead of teleporting to its reset state.
+        Fixed-frequency governors override their state on the next
+        ``update`` anyway, but the base implementation is safe for all.
+        """
+        if len(frequencies_hz) != self.num_cores:
+            raise ValueError(f"expected {self.num_cores} frequencies")
+        self._frequencies = list(frequencies_hz)
 
     def reset(self) -> None:
         """Return every core to the governor's starting frequency."""
@@ -111,6 +130,7 @@ class OndemandGovernor(Governor):
     """
 
     name = "ondemand"
+    adaptive = True
 
     def __init__(
         self, ladder: OppLadder, num_cores: int, up_threshold: float = 0.80
@@ -119,19 +139,32 @@ class OndemandGovernor(Governor):
         if not 0.0 < up_threshold <= 1.0:
             raise ValueError("up_threshold must be in (0, 1]")
         self.up_threshold = up_threshold
+        # The ladder is immutable; cache what the per-tick update needs
+        # (plain floats, so the scan below has no attribute reads).
+        self._ascending_hz = ladder.frequencies()
+        self._f_max = ladder.max_point.frequency_hz
 
     def update(self, utilisations: Sequence[float]) -> List[float]:
         new_frequencies = []
-        f_max = self.ladder.max_point.frequency_hz
+        append = new_frequencies.append
+        frequencies = self._frequencies
+        ascending = self._ascending_hz
+        f_max = self._f_max
+        up_threshold = self.up_threshold
         for core, util in enumerate(utilisations):
-            if util >= self.up_threshold:
-                new_frequencies.append(f_max)
+            if util >= up_threshold:
+                append(f_max)
             else:
                 # Demand in cycle terms at the current frequency, mapped
                 # to the smallest frequency that keeps util below the
-                # threshold.
-                demand_hz = util * self._frequencies[core] / self.up_threshold
-                new_frequencies.append(self.ladder.ceil(demand_hz).frequency_hz)
+                # threshold (an inlined ladder.ceil, same 1 Hz slack).
+                bound = util * frequencies[core] / up_threshold - 1.0
+                for frequency in ascending:
+                    if frequency >= bound:
+                        append(frequency)
+                        break
+                else:
+                    append(f_max)
         self._frequencies = new_frequencies
         return self.frequencies()
 
@@ -144,6 +177,7 @@ class ConservativeGovernor(Governor):
     """
 
     name = "conservative"
+    adaptive = True
 
     def __init__(
         self,
@@ -157,17 +191,40 @@ class ConservativeGovernor(Governor):
             raise ValueError("need 0 <= down < up <= 1")
         self.up_threshold = up_threshold
         self.down_threshold = down_threshold
+        # Exact-hit rung lookup; off-ladder frequencies (tolerant 1 Hz
+        # matching) fall back to the linear ladder.step scan.
+        self._index_of_hz = {
+            point.frequency_hz: index for index, point in enumerate(ladder.points)
+        }
+        self._ascending_hz = ladder.frequencies()
+
+    def _step_hz(self, current: float, delta: int) -> float:
+        index = self._index_of_hz.get(current)
+        if index is None:
+            return self.ladder.step(current, delta).frequency_hz
+        ascending = self._ascending_hz
+        clamped = index + delta
+        if clamped < 0:
+            clamped = 0
+        elif clamped >= len(ascending):
+            clamped = len(ascending) - 1
+        return ascending[clamped]
 
     def update(self, utilisations: Sequence[float]) -> List[float]:
         new_frequencies = []
+        append = new_frequencies.append
+        frequencies = self._frequencies
+        up_threshold = self.up_threshold
+        down_threshold = self.down_threshold
+        step_hz = self._step_hz
         for core, util in enumerate(utilisations):
-            current = self._frequencies[core]
-            if util >= self.up_threshold:
-                new_frequencies.append(self.ladder.step(current, +1).frequency_hz)
-            elif util <= self.down_threshold:
-                new_frequencies.append(self.ladder.step(current, -1).frequency_hz)
+            current = frequencies[core]
+            if util >= up_threshold:
+                append(step_hz(current, +1))
+            elif util <= down_threshold:
+                append(step_hz(current, -1))
             else:
-                new_frequencies.append(current)
+                append(current)
         self._frequencies = new_frequencies
         return self.frequencies()
 

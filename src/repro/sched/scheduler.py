@@ -15,22 +15,37 @@ Setting an :class:`~repro.sched.affinity.AffinityMapping` with singleton
 masks disables both behaviours for the pinned threads — the fixed
 assignment of the motivational experiment and of the learning agent's
 actions.
+
+The implementation is the hot path of the whole simulation (it runs once
+per tick, every experiment is tens of thousands of ticks), so placement
+state is maintained incrementally instead of being recomputed per
+decision: ``_runnable_per_core`` mirrors what the seed implementation's
+O(threads x cores) ``_runnable_count`` scans produced, and phase 3 builds
+the per-core run queues in a single pass over the threads.  All decisions
+are bit-identical to the reference behaviour preserved in
+``tests/_reference_scheduler.py`` (see the randomized equivalence test).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.sched.affinity import AffinityMapping
 from repro.sched.perf import PerfCounters
-from repro.workloads.thread_model import SimThread
+from repro.workloads.thread_model import SimThread, ThreadPhase
+
+#: Phase singletons compared by identity on the hot path (one attribute
+#: read instead of a property call per thread per pass).
+_COMPUTE = ThreadPhase.COMPUTE
+_BARRIER = ThreadPhase.BARRIER
+_DONE = ThreadPhase.DONE
+
+#: Bypasses the namedtuple's eval-generated ``__new__`` wrapper (one
+#: Python frame per core per tick); produces an identical CoreLoad.
+_new_load = tuple.__new__
 
 
-@dataclass(frozen=True)
-class CoreLoad:
+class CoreLoad(NamedTuple):
     """Per-core load summary of one tick.
 
     Attributes
@@ -96,10 +111,26 @@ class Scheduler:
         self._core_of: Dict[SimThread, int] = {}
         self._prev_runnable: Dict[SimThread, bool] = {}
         self._stalled: set = set()
-        self._stall_s = np.zeros(num_cores)
-        self._idle_for_s = np.zeros(num_cores)
+        self._stall_s: List[float] = [0.0] * num_cores
+        self._idle_for_s: List[float] = [0.0] * num_cores
         self._busy_ewma = 0.0
         self._since_rebalance_s = 0.0
+        self._all_cores: List[int] = list(range(num_cores))
+        # Mirror of the reference _runnable_count(core) for every core.
+        # Refreshed from scratch on entry to tick/set_mapping/set_threads
+        # (thread phases change outside the scheduler), then maintained
+        # incrementally across placements within a call.
+        self._runnable_per_core: List[int] = [0] * num_cores
+        # Reusable phase-3 per-core run queues (cleared every tick).
+        self._run_queues: List[List[SimThread]] = [[] for _ in range(num_cores)]
+        # min(1.0, dt / 2.0) cached per tick length (dt is constant
+        # within a run; recomputed only if a caller changes it).
+        self._ewma_dt: Optional[float] = None
+        self._ewma_weight = 0.0
+        # Set by _place/_move while a tick is in flight: tells phase 3
+        # whether the entry core snapshot is still valid (the common,
+        # no-migration case skips one dict lookup per thread).
+        self._cores_moved = False
 
     # ------------------------------------------------------------------
     # Thread and mapping management
@@ -126,6 +157,7 @@ class Scheduler:
         self._prev_runnable = {t: t.runnable for t in self._threads}
         self._stalled.clear()
         self._mapping = None
+        self._refresh_runnable_counts()
         if mapping is not None:
             self.set_mapping(mapping)
         for thread in self._threads:
@@ -146,6 +178,7 @@ class Scheduler:
                     f"have {len(self._threads)}"
                 )
         self._mapping = mapping
+        self._refresh_runnable_counts()
         for thread in self._threads:
             core = self._core_of.get(thread)
             if core is not None and not self._allows(thread, core):
@@ -155,7 +188,9 @@ class Scheduler:
         """Steal CPU time from every core (management overhead)."""
         if seconds < 0.0:
             raise ValueError("stall cannot be negative")
-        self._stall_s += seconds
+        stall_s = self._stall_s
+        for core in range(self.num_cores):
+            stall_s[core] += seconds
 
     # ------------------------------------------------------------------
     # Placement internals
@@ -166,45 +201,75 @@ class Scheduler:
             return True
         return self._mapping.allows(thread.thread_id, core)
 
-    def _allowed_cores(self, thread: SimThread) -> List[int]:
-        return [c for c in range(self.num_cores) if self._allows(thread, c)]
+    def _refresh_runnable_counts(self) -> None:
+        """Recompute the per-core runnable counts from thread state.
 
-    def _runnable_count(self, core: int) -> int:
-        # Stalled (just-migrated) threads still occupy the run queue for
-        # placement purposes; they are only excluded from execution.
-        return sum(
-            1
-            for t in self._threads
-            if t.runnable and self._core_of.get(t) == core
-        )
+        Stalled (just-migrated) threads still occupy the run queue for
+        placement purposes; they are only excluded from execution.
+        """
+        counts = self._runnable_per_core
+        for core in range(self.num_cores):
+            counts[core] = 0
+        core_of = self._core_of
+        for thread in self._threads:
+            if thread.phase is _COMPUTE:
+                core = core_of.get(thread)
+                if core is not None:
+                    counts[core] += 1
 
     def _pick_core(self, thread: SimThread, wake: bool) -> int:
         """Choose a core for a (newly placed or waking) thread."""
-        allowed = self._allowed_cores(thread)
+        mapping = self._mapping
+        if mapping is None:
+            allowed = self._all_cores
+        else:
+            thread_id = thread.thread_id
+            allowed = [c for c in self._all_cores if mapping.allows(thread_id, c)]
         if len(allowed) == 1:
             return allowed[0]
-        counts = {core: self._runnable_count(core) for core in allowed}
+        counts = self._runnable_per_core
         if wake and self._busy_ewma < self.packing_threshold:
             # Wake-affine packing: prefer the busiest core with headroom,
             # consolidating onto low-id cores (all-idle tie), which is
             # how low-duty workloads end up "using only a few cores".
-            candidates = [c for c in allowed if counts[c] < self.pack_cap]
-            if candidates:
-                best = max(counts[c] for c in candidates)
-                busiest = [c for c in candidates if counts[c] == best]
-                return min(busiest)
+            cap = self.pack_cap
+            best = -1
+            busiest = -1
+            for core in allowed:
+                count = counts[core]
+                if count < cap and count > best:
+                    best = count
+                    busiest = core
+            if busiest >= 0:
+                return busiest
         # Load balancing: least-loaded core, previous core breaking ties.
-        least = min(counts.values())
-        idlest = [c for c in allowed if counts[c] == least]
-        if thread.last_core in idlest:
-            return thread.last_core
-        return min(idlest)
+        least = counts[allowed[0]]
+        for core in allowed:
+            if counts[core] < least:
+                least = counts[core]
+        last = thread.last_core
+        if (
+            last is not None
+            and counts[last] == least
+            and (mapping is None or last in allowed)
+        ):
+            return last
+        for core in allowed:
+            if counts[core] == least:
+                return core
+        raise AssertionError("unreachable: some allowed core holds the minimum")
 
     def _place(self, thread: SimThread, initial: bool = False, wake: bool = False) -> None:
         core = self._pick_core(thread, wake=wake)
         previous = self._core_of.get(thread)
         self._core_of[thread] = core
         thread.core = core
+        self._cores_moved = True
+        if previous != core and thread.phase is _COMPUTE:
+            counts = self._runnable_per_core
+            if previous is not None:
+                counts[previous] -= 1
+            counts[core] += 1
         if previous is not None and previous != core:
             thread.last_core = previous
             self.perf.record_migration()
@@ -215,30 +280,44 @@ class Scheduler:
     def _migrate(self, thread: SimThread) -> None:
         self._place(thread, wake=False)
 
+    def _first_movable(self, source: int, target: int) -> Optional[SimThread]:
+        """First thread (in adoption order) movable ``source -> target``."""
+        core_of = self._core_of
+        stalled = self._stalled
+        for thread in self._threads:
+            if (
+                thread.phase is _COMPUTE
+                and core_of.get(thread) == source
+                and self._allows(thread, target)
+                and thread not in stalled
+            ):
+                return thread
+        return None
+
+    def _move(self, thread: SimThread, source: int, target: int) -> None:
+        """Forcibly migrate a runnable thread (idle pull / rebalance)."""
+        thread.last_core = source
+        self._core_of[thread] = target
+        thread.core = target
+        self._cores_moved = True
+        counts = self._runnable_per_core
+        counts[source] -= 1
+        counts[target] += 1
+        self.perf.record_migration()
+        self._stalled.add(thread)
+
     def _rebalance(self) -> None:
         """Move runnable threads from the busiest to the idlest core."""
+        counts = self._runnable_per_core
         for _ in range(2):  # at most two migrations per balancing pass
-            counts = [self._runnable_count(core) for core in range(self.num_cores)]
-            busiest = int(np.argmax(counts))
-            idlest = int(np.argmin(counts))
+            busiest = counts.index(max(counts))
+            idlest = counts.index(min(counts))
             if counts[busiest] - counts[idlest] < 2:
                 return
-            movable = [
-                t
-                for t in self._threads
-                if t.runnable
-                and self._core_of.get(t) == busiest
-                and self._allows(t, idlest)
-                and t not in self._stalled
-            ]
-            if not movable:
+            thread = self._first_movable(busiest, idlest)
+            if thread is None:
                 return
-            thread = movable[0]
-            thread.last_core = busiest
-            self._core_of[thread] = idlest
-            thread.core = idlest
-            self.perf.record_migration()
-            self._stalled.add(thread)
+            self._move(thread, busiest, idlest)
 
     # ------------------------------------------------------------------
     # Tick
@@ -260,55 +339,80 @@ class Scheduler:
             Per-core utilisation/activity the governor and power model
             consume.
         """
-        if len(frequencies_hz) != self.num_cores:
-            raise ValueError(f"expected {self.num_cores} frequencies")
+        num_cores = self.num_cores
+        if len(frequencies_hz) != num_cores:
+            raise ValueError(f"expected {num_cores} frequencies")
         if dt <= 0.0:
             raise ValueError("dt must be positive")
 
+        # Thread phases changed since the last scheduler call (the
+        # application ticked), so the incremental counts are stale.
+        # One pass refreshes the counts and snapshots each thread's
+        # phase and core: phases cannot change before execution (only
+        # ``execute`` flips COMPUTE -> BARRIER mid-tick) and a thread's
+        # own core cannot change before its phase-1 visit, so both
+        # snapshots are valid exactly as long as they are used.
+        threads = self._threads
+        core_of = self._core_of
+        prev_runnable = self._prev_runnable
+        mapping = self._mapping
+        counts = self._runnable_per_core
+        for core in range(num_cores):
+            counts[core] = 0
+        self._cores_moved = False
+        phases: List[ThreadPhase] = []
+        cores: List[Optional[int]] = []
+        phases_append = phases.append
+        cores_append = cores.append
+        for thread in threads:
+            phase = thread.phase
+            core = core_of.get(thread)
+            phases_append(phase)
+            cores_append(core)
+            if phase is _COMPUTE and core is not None:
+                counts[core] += 1
+
         # 1. Handle wakes and placement.
-        for thread in self._threads:
-            if thread.done:
-                continue
-            woke = thread.runnable and not self._prev_runnable.get(thread, False)
-            if self._core_of.get(thread) is None:
-                self._place(thread, initial=True)
-            elif not self._allows(thread, self._core_of[thread]):
-                self._migrate(thread)
-            elif woke and self._mapping_is_free(thread):
-                self._place(thread, wake=True)
+        if mapping is None:
+            for thread, phase, core in zip(threads, phases, cores):
+                if phase is _DONE:
+                    continue
+                if core is None:
+                    self._place(thread, initial=True)
+                elif phase is _COMPUTE and not prev_runnable[thread]:
+                    self._place(thread, wake=True)
+        else:
+            for thread, phase, core in zip(threads, phases, cores):
+                if phase is _DONE:
+                    continue
+                woke = phase is _COMPUTE and not prev_runnable[thread]
+                if core is None:
+                    self._place(thread, initial=True)
+                elif not mapping.allows(thread.thread_id, core):
+                    self._migrate(thread)
+                elif woke and self._mapping_is_free(thread):
+                    self._place(thread, wake=True)
 
         # 2a. Newly-idle balancing: a core that has sat idle for longer
         # than the pull delay steals a runnable thread from the busiest
         # core (Linux's idle balancing, with its reaction latency).
-        for core in range(self.num_cores):
-            if self._runnable_count(core) == 0:
-                self._idle_for_s[core] += dt
+        idle_for_s = self._idle_for_s
+        for core in range(num_cores):
+            if counts[core] == 0:
+                idle_for_s[core] += dt
             else:
-                self._idle_for_s[core] = 0.0
-        for core in range(self.num_cores):
-            if self._idle_for_s[core] < self.idle_pull_delay_s:
+                idle_for_s[core] = 0.0
+        for core in range(num_cores):
+            if idle_for_s[core] < self.idle_pull_delay_s:
                 continue
-            counts = [self._runnable_count(c) for c in range(self.num_cores)]
-            busiest = int(np.argmax(counts))
+            busiest = counts.index(max(counts))
             if counts[busiest] < 2:
                 continue
-            movable = [
-                t
-                for t in self._threads
-                if t.runnable
-                and self._core_of.get(t) == busiest
-                and self._allows(t, core)
-                and t not in self._stalled
-            ]
-            if not movable:
+            thread = self._first_movable(busiest, core)
+            if thread is None:
                 continue
-            thread = movable[0]
-            thread.last_core = busiest
-            self._core_of[thread] = core
-            thread.core = core
-            self.perf.record_migration()
-            self._stalled.add(thread)
-            self._idle_for_s[core] = 0.0
+            self._move(thread, busiest, core)
+            idle_for_s[core] = 0.0
 
         # 2b. Periodic load balancing (only for non-pinned threads).
         self._since_rebalance_s += dt
@@ -316,59 +420,116 @@ class Scheduler:
             self._since_rebalance_s = 0.0
             self._rebalance()
 
-        # 3. Execute.
-        loads = []
-        for core in range(self.num_cores):
-            stall = min(float(self._stall_s[core]), dt)
-            self._stall_s[core] -= stall
+        # 3. Execute: one pass builds the per-core run queues and waiting
+        # counts, then each core grants its effective time slice.  The
+        # same pass records each thread's pre-execution runnable flag in
+        # ``prev_runnable`` (the phase snapshot is still valid here);
+        # executed threads — the only ones whose phase can change below
+        # — are corrected after their burst.
+        run_queues = self._run_queues
+        wait_counts = [0] * num_cores
+        stalled = self._stalled
+        has_stalled = bool(stalled)
+        if not self._cores_moved:
+            # No migration this tick: the entry core snapshot is intact.
+            for thread, phase, core in zip(threads, phases, cores):
+                if phase is _COMPUTE:
+                    prev_runnable[thread] = True
+                    if core is not None and (
+                        not has_stalled or thread not in stalled
+                    ):
+                        run_queues[core].append(thread)
+                else:
+                    prev_runnable[thread] = False
+                    if phase is not _DONE and core is not None:
+                        wait_counts[core] += 1
+        else:
+            for thread, phase in zip(threads, phases):
+                if phase is _COMPUTE:
+                    prev_runnable[thread] = True
+                    core = core_of.get(thread)
+                    if core is not None and (
+                        not has_stalled or thread not in stalled
+                    ):
+                        run_queues[core].append(thread)
+                else:
+                    prev_runnable[thread] = False
+                    if phase is not _DONE:
+                        core = core_of.get(thread)
+                        if core is not None:
+                            wait_counts[core] += 1
+
+        stall_s = self._stall_s
+        idle_activity = self.idle_activity
+        record_execution = self.perf.record_execution
+        loads: List[CoreLoad] = []
+        loads_append = loads.append
+        busy_cores = 0
+        for core in range(num_cores):
+            pending = stall_s[core]
+            stall = pending if pending < dt else dt
+            stall_s[core] = pending - stall
             effective_dt = dt - stall
-            runnable = [
-                t
-                for t in self._threads
-                if t.runnable and self._core_of.get(t) == core and t not in self._stalled
-            ]
-            waiting = [
-                t
-                for t in self._threads
-                if not t.runnable
-                and not t.done
-                and self._core_of.get(t) == core
-            ]
+            runnable = run_queues[core]
+            num_runnable = len(runnable)
+            num_waiting = wait_counts[core]
             executed = 0.0
-            if runnable:
-                share = effective_dt / len(runnable)
+            if num_runnable:
+                busy_cores += 1
+                share = effective_dt / num_runnable
+                cycles = frequencies_hz[core] * share
                 for thread in runnable:
-                    cycles = frequencies_hz[core] * share
-                    thread.execute(cycles)
+                    # Inlined SimThread.execute: queue members are in
+                    # COMPUTE by construction, so its phase guard is
+                    # vacuous here.
+                    remaining = thread.remaining_cycles - cycles
+                    thread.remaining_cycles = remaining
+                    if remaining <= 0.0:
+                        thread.phase = _BARRIER
                     executed += cycles
-                self.perf.record_execution(executed)
-            utilisation = min(
-                1.0,
-                (len(runnable) * 1.0 + len(waiting) * 0.03) * (effective_dt / dt)
-                + (stall / dt),
+                record_execution(executed)
+            scale = effective_dt / dt
+            utilisation = (num_runnable * 1.0 + num_waiting * 0.03) * scale + (
+                stall / dt
             )
-            if runnable:
-                activity = sum(t.activity for t in runnable) / len(runnable)
-                activity *= effective_dt / dt
+            if utilisation > 1.0:
+                utilisation = 1.0
+            if num_runnable:
+                # Threads whose burst just ended (execute flipped them
+                # to BARRIER) contribute activity_low, exactly like the
+                # ``thread.activity`` property the reference sums; the
+                # pass also fixes up ``prev_runnable`` with the
+                # post-execution flag.  ``total`` starts as int 0 to
+                # mirror ``sum()`` bit for bit.
+                total = 0
+                for thread in runnable:
+                    spec = thread.spec
+                    if thread.phase is _COMPUTE:
+                        total = total + spec.activity_high
+                        prev_runnable[thread] = True
+                    else:
+                        total = total + spec.activity_low
+                        prev_runnable[thread] = False
+                activity = total / num_runnable
+                activity *= scale
             else:
                 activity = 0.0
-            activity = min(1.0, activity + self.idle_activity * len(waiting))
-            loads.append(
-                CoreLoad(
-                    utilisation=utilisation,
-                    activity=activity,
-                    num_runnable=len(runnable),
-                    executed_cycles=executed,
-                )
+            activity = activity + idle_activity * num_waiting
+            if activity > 1.0:
+                activity = 1.0
+            loads_append(
+                _new_load(CoreLoad, (utilisation, activity, num_runnable, executed))
             )
+            runnable.clear()
 
         # 4. Bookkeeping for the next tick.
-        busy_fraction = sum(1 for load in loads if load.num_runnable > 0) / self.num_cores
-        ewma_weight = min(1.0, dt / 2.0)  # ~2 s smoothing
-        self._busy_ewma += ewma_weight * (busy_fraction - self._busy_ewma)
-        self._stalled.clear()
-        for thread in self._threads:
-            self._prev_runnable[thread] = thread.runnable
+        busy_fraction = busy_cores / num_cores
+        if dt != self._ewma_dt:
+            self._ewma_dt = dt
+            self._ewma_weight = min(1.0, dt / 2.0)  # ~2 s smoothing
+        self._busy_ewma += self._ewma_weight * (busy_fraction - self._busy_ewma)
+        if has_stalled:
+            stalled.clear()
         return loads
 
     def _mapping_is_free(self, thread: SimThread) -> bool:
@@ -388,7 +549,8 @@ class Scheduler:
 
     def runnable_counts(self) -> List[int]:
         """Per-core runnable-thread counts."""
-        return [self._runnable_count(core) for core in range(self.num_cores)]
+        self._refresh_runnable_counts()
+        return list(self._runnable_per_core)
 
     @property
     def busy_ewma(self) -> float:

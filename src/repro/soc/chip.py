@@ -5,19 +5,27 @@ power is evaluated from the scheduler's activity factors, leakage from
 the *current* temperatures (capturing the leakage/temperature feedback
 loop), the RC network integrates the total heat, and the energy meter
 accumulates both channels.
+
+``step`` is on the simulation's hot path, so the per-core power math
+runs off a precomputed :class:`~repro.power.table.PowerTable` (one dict
+lookup per core instead of a ladder scan plus re-validated free-function
+calls) and the thermal update goes through the RC model's unchecked
+``_step_into`` — both bit-identical to the seed arithmetic.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import math
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.config import PlatformConfig
-from repro.power.dynamic import dynamic_power_w
+from repro.perf.timer import SectionTimer
 from repro.power.energy import EnergyMeter
 from repro.power.leakage import leakage_power_w
 from repro.power.opp import OppLadder
+from repro.power.table import PowerTable
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.rc_model import RCThermalModel
 from repro.thermal.sensors import SensorBank
@@ -37,6 +45,7 @@ class Chip:
     def __init__(self, config: PlatformConfig, seed: int = 0) -> None:
         self.config = config
         self.ladder = OppLadder(config.opp_table)
+        self.power_table = PowerTable(self.ladder, config.power)
         self.floorplan = Floorplan(
             num_cores=config.num_cores, adjacency=config.core_adjacency
         )
@@ -46,6 +55,20 @@ class Chip:
         self._last_dynamic: List[float] = [0.0] * config.num_cores
         self._last_static: List[float] = [0.0] * config.num_cores
         self._drift_rng = np.random.default_rng(seed + 7)
+        # Ornstein-Uhlenbeck drift constants, cached per tick length
+        # (recomputed only when a caller changes dt between steps).
+        self._drift_enabled = config.thermal.ambient_drift_sigma_c > 0.0
+        self._drift_dt: Optional[float] = None
+        self._drift_pull_gain = 0.0
+        self._drift_kick_scale = 0.0
+        # Uncore-power constants (PowerConfig is frozen).
+        self._idle_package_power_w = config.power.idle_package_power
+        self._uncore_per_active_w = config.power.uncore_power_per_active_core
+        self._timer: Optional[SectionTimer] = None
+
+    def attach_timer(self, timer: Optional[SectionTimer]) -> None:
+        """Attach (or detach, with None) a per-phase section timer."""
+        self._timer = timer
 
     @property
     def num_cores(self) -> int:
@@ -82,40 +105,61 @@ class Chip:
         numpy.ndarray
             The new true core temperatures.
         """
-        if len(activities) != self.num_cores or len(frequencies_hz) != self.num_cores:
-            raise ValueError(f"expected {self.num_cores} activities and frequencies")
-        thermal_cfg = self.config.thermal
-        if thermal_cfg.ambient_drift_sigma_c > 0.0:
+        num_cores = self.config.num_cores
+        if len(activities) != num_cores or len(frequencies_hz) != num_cores:
+            raise ValueError(f"expected {num_cores} activities and frequencies")
+        if self._drift_enabled:
             # Ornstein-Uhlenbeck airflow/ambient fluctuation.
-            tau = thermal_cfg.ambient_drift_tau_s
-            current = self.thermal.ambient_c
-            pull = (thermal_cfg.ambient_c - current) * (dt / tau)
-            kick = (
-                thermal_cfg.ambient_drift_sigma_c
-                * np.sqrt(2.0 * dt / tau)
-                * self._drift_rng.normal()
-            )
-            self.thermal.set_ambient_c(current + pull + kick)
-        temps = self.core_temps_c()
-        dynamic = []
-        static = []
-        for core in range(self.num_cores):
-            voltage = self.ladder.voltage_for(frequencies_hz[core])
-            dynamic.append(
-                dynamic_power_w(
-                    activities[core], voltage, frequencies_hz[core], self.config.power
+            if dt != self._drift_dt:
+                thermal_cfg = self.config.thermal
+                tau = thermal_cfg.ambient_drift_tau_s
+                self._drift_pull_gain = dt / tau
+                self._drift_kick_scale = thermal_cfg.ambient_drift_sigma_c * np.sqrt(
+                    2.0 * dt / tau
                 )
-            )
-            static.append(leakage_power_w(temps[core], voltage, self.config.power))
+                self._drift_dt = dt
+            thermal = self.thermal
+            current = thermal.ambient_c
+            pull = (self.config.thermal.ambient_c - current) * self._drift_pull_gain
+            kick = self._drift_kick_scale * self._drift_rng.normal()
+            thermal.set_ambient_c(current + pull + kick)
+        timer = self._timer
+        if timer is not None:
+            mark = timer.now()
+        table = self.power_table
+        by_frequency = table._by_frequency
+        c_eff = table.c_eff
+        t_leak = table.t_leak
+        # Plain-float temperatures: one C-level conversion instead of a
+        # boxed numpy scalar per core (same IEEE doubles either way).
+        temps = self.thermal._temps.tolist()
+        dynamic: List[float] = []
+        static: List[float] = []
+        for core in range(num_cores):
+            frequency = frequencies_hz[core]
+            entry = by_frequency.get(frequency)
+            if entry is None:
+                entry = table.entry_for_hz(frequency)
+            activity = activities[core]
+            if not 0.0 <= activity <= 1.0:
+                raise ValueError(f"activity {activity} outside [0, 1]")
+            voltage = entry.voltage_v
+            dynamic.append(activity * c_eff * voltage * voltage * frequency)
+            static.append(entry.leakage_scale_w * math.exp(t_leak * temps[core]))
         uncore = (
-            self.config.power.idle_package_power
-            + self.config.power.uncore_power_per_active_core * sum(activities)
+            self._idle_package_power_w
+            + self._uncore_per_active_w * sum(activities)
         )
         self.energy.record(dynamic, static, uncore, dt)
         self._last_dynamic = dynamic
         self._last_static = static
-        total = [dynamic[c] + static[c] for c in range(self.num_cores)]
-        return self.thermal.step(total, spreader_power_w=uncore)
+        total = [d + s for d, s in zip(dynamic, static)]
+        if timer is not None:
+            mark = timer.lap("power", mark)
+        self.thermal._step_into(total, uncore)
+        if timer is not None:
+            timer.lap("thermal", mark)
+        return self.thermal.core_temps_c()
 
     def last_core_powers_w(self) -> List[float]:
         """Total per-core power of the most recent tick."""

@@ -34,6 +34,7 @@ from repro.config import (
 )
 from repro.faults.injector import OUTCOME_FAIL, OUTCOME_NOOP, FaultInjector
 from repro.faults.supervisor import ActuationSupervisor, SensorSupervisor
+from repro.perf.timer import SectionTimer
 from repro.power.energy import EnergyMeter
 from repro.sched.affinity import AffinityMapping
 from repro.sched.governors import Governor, UserspaceGovernor, make_governor
@@ -215,6 +216,7 @@ class Simulation:
         )
         self.eval_sample_period_s = eval_sample_period_s
         self.max_time_s = max_time_s
+        self._dt = self.platform.dt  # PlatformConfig is frozen
         self.now = 0.0
         self._app_index = -1
         self._app_start_s = 0.0
@@ -230,6 +232,7 @@ class Simulation:
             self._fault_injector = FaultInjector(
                 faults, self.platform.num_cores, seed=seed
             )
+        self._timer: Optional[SectionTimer] = None
         self._sensor_supervisor: Optional[SensorSupervisor] = None
         self._actuation_supervisor: Optional[ActuationSupervisor] = None
         self._next_watchdog_s = 0.0
@@ -252,7 +255,8 @@ class Simulation:
     @property
     def current_app(self) -> Application:
         """The application currently executing."""
-        return self.applications[max(0, self._app_index)]
+        index = self._app_index
+        return self.applications[index if index > 0 else 0]
 
     @property
     def governor(self) -> Governor:
@@ -346,10 +350,10 @@ class Simulation:
         self._governor = make_governor(
             name, self.chip.ladder, self.platform.num_cores, userspace_frequency_hz
         )
-        # Inherit current frequencies where the new governor is adaptive,
-        # so a governor switch does not teleport the clock.
-        if name in ("ondemand", "conservative"):
-            self._governor._frequencies = current.frequencies()
+        # Adaptive governors inherit the running frequencies, so a
+        # governor switch does not teleport the clock.
+        if self._governor.adaptive:
+            self._governor.inherit_frequencies(current.frequencies())
         return True
 
     def _actuate_mapping(self, mapping: Optional[AffinityMapping]) -> bool:
@@ -379,8 +383,15 @@ class Simulation:
         return governor.name == name
 
     def mapping_in_force(self, mapping: Optional[AffinityMapping]) -> bool:
-        """Whether the active mapping is the requested one."""
-        return self._mapping is mapping
+        """Whether the active mapping equals the requested one.
+
+        Compared by value (mask equality), so a retry with an
+        equal-but-distinct :class:`AffinityMapping` object verifies
+        correctly.
+        """
+        if mapping is None or self._mapping is None:
+            return self._mapping is mapping
+        return self._mapping == mapping
 
     def _engage_thermal_emergency(self) -> None:
         """Clamp the chip to the minimum operating point.
@@ -439,26 +450,54 @@ class Simulation:
             )
         )
 
+    def attach_timer(self, timer: Optional[SectionTimer]) -> None:
+        """Attach (or detach, with None) per-phase tick-loop accounting.
+
+        The timer splits each tick into schedule/app/governor (here),
+        power/thermal (inside :meth:`Chip.step`) and sensors/manager
+        sections.  With no timer attached the loop pays one ``is not
+        None`` check per phase.
+        """
+        self._timer = timer
+        self.chip.attach_timer(timer)
+
     def step(self) -> None:
         """Advance the whole system by one tick."""
-        dt = self.platform.dt
+        timer = self._timer
+        dt = self._dt
         app = self.current_app
+        if timer is not None:
+            mark = timer.now()
         frequencies = self._governor.frequencies()
         loads = self.scheduler.tick(frequencies, dt)
+        if timer is not None:
+            mark = timer.lap("schedule", mark)
         app.tick(dt)
+        if timer is not None:
+            mark = timer.lap("app", mark)
         self._governor.update([load.utilisation for load in loads])
+        if timer is not None:
+            mark = timer.lap("governor", mark)
+        # The chip accounts its own power/thermal split with this timer.
         self.chip.step([load.activity for load in loads], frequencies, dt)
         self.now += dt
 
+        if timer is not None:
+            mark = timer.now()
         if self.now + 1e-9 >= self._next_eval_s:
             self._profile.append(self._eval_sensors.read(self.chip.core_temps_c()))
             self._next_eval_s += self.eval_sample_period_s
+        if timer is not None:
+            mark = timer.lap("sensors", mark)
 
         if self.manager is not None:
             self.manager.on_tick(self)
 
         if self._actuation_supervisor is not None:
             self._supervise_tick()
+        if timer is not None:
+            timer.lap("manager", mark)
+            timer.count_tick()
 
     def _supervise_tick(self) -> None:
         """One supervision round: watchdog sampling, retries, emergency.
@@ -473,8 +512,14 @@ class Simulation:
             self.read_sensors()
         self._actuation_supervisor.on_tick(self)
 
-    def run(self) -> SimulationResult:
-        """Execute every application to completion and build the result."""
+    def prepare(self) -> None:
+        """Arm the engine for manual stepping.
+
+        Everything :meth:`run` does before its tick loop: reset the
+        reading-path filter state, attach the manager and start the
+        first application.  Callers that drive :meth:`step` themselves
+        (the benchmark harness, tests) call this once first.
+        """
         # A reused engine (or sensor bank) must not leak filter state
         # from a previous run into this one.
         self._manager_sensors.reset()
@@ -483,8 +528,12 @@ class Simulation:
             self._sensor_supervisor.reset()
         if self.manager is not None:
             self.manager.attach(self)
-        completed = True
         self._start_next_app()
+
+    def run(self) -> SimulationResult:
+        """Execute every application to completion and build the result."""
+        completed = True
+        self.prepare()
         while True:
             app = self.current_app
             self.step()

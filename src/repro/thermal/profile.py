@@ -4,6 +4,13 @@ A :class:`ThermalProfile` is the time-ordered record of per-core sensor
 samples produced by one simulation run.  Every experiment metric of the
 paper's evaluation (average temperature, peak temperature, thermal
 cycling, stress, aging) is computed from objects of this class.
+
+Samples live in one growable ``(num_cores, capacity)`` float array
+(amortised-O(1) appends, no per-core Python lists), matching the memory
+layout ``np.array(list_of_core_lists)`` used to produce — so every
+statistic reduces over bit-identical, identically-strided data and
+:meth:`as_array` returns the same ``(num_samples, num_cores)`` view of a
+C-contiguous ``(num_cores, num_samples)`` block the seed returned.
 """
 
 from __future__ import annotations
@@ -14,6 +21,9 @@ import numpy as np
 
 from repro.config import ReliabilityConfig
 from repro.reliability.mttf import MttfReport, evaluate_profile
+
+#: Initial column capacity of a profile's sample block.
+_INITIAL_CAPACITY = 64
 
 
 class ThermalProfile:
@@ -34,18 +44,34 @@ class ThermalProfile:
             raise ValueError("sample period must be positive")
         self.num_cores = num_cores
         self.sample_period_s = sample_period_s
-        self._samples: List[List[float]] = [[] for _ in range(num_cores)]
+        self._data = np.empty((num_cores, _INITIAL_CAPACITY), dtype=float)
+        self._len = 0
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
 
+    def _reserve(self, extra: int) -> None:
+        """Grow the sample block so ``extra`` more columns fit."""
+        needed = self._len + extra
+        capacity = self._data.shape[1]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity = max(_INITIAL_CAPACITY, capacity * 2)
+        grown = np.empty((self.num_cores, capacity), dtype=float)
+        grown[:, : self._len] = self._data[:, : self._len]
+        self._data = grown
+
     def append(self, temps_c: Sequence[float]) -> None:
         """Record one sample per core."""
         if len(temps_c) != self.num_cores:
             raise ValueError(f"expected {self.num_cores} samples")
-        for core, value in enumerate(temps_c):
-            self._samples[core].append(float(value))
+        length = self._len
+        if length == self._data.shape[1]:
+            self._reserve(1)
+        self._data[:, length] = temps_c
+        self._len = length + 1
 
     def extend(self, other: "ThermalProfile") -> None:
         """Append another profile recorded with the same period."""
@@ -53,8 +79,15 @@ class ThermalProfile:
             raise ValueError("core-count mismatch")
         if abs(other.sample_period_s - self.sample_period_s) > 1e-12:
             raise ValueError("sample-period mismatch")
-        for core in range(self.num_cores):
-            self._samples[core].extend(other._samples[core])
+        added = other._len
+        self._reserve(added)
+        self._data[:, self._len : self._len + added] = other._data[:, :added]
+        self._len += added
+
+    def _adopt(self, block: np.ndarray) -> None:
+        """Replace this (empty) profile's samples with a copied block."""
+        self._data = np.ascontiguousarray(block, dtype=float)
+        self._len = block.shape[1]
 
     # ------------------------------------------------------------------
     # Access
@@ -62,7 +95,7 @@ class ThermalProfile:
 
     def __len__(self) -> int:
         """Number of samples recorded per core."""
-        return len(self._samples[0])
+        return self._len
 
     @property
     def duration_s(self) -> float:
@@ -71,17 +104,16 @@ class ThermalProfile:
 
     def core_series(self, core: int) -> List[float]:
         """The sample list of one core (a copy)."""
-        return list(self._samples[core])
+        return self._data[core, : self._len].tolist()
 
     def as_array(self) -> np.ndarray:
         """All samples as a ``(num_samples, num_cores)`` array."""
-        return np.array(self._samples, dtype=float).T
+        return np.ascontiguousarray(self._data[:, : self._len]).T
 
     def tail(self, num_samples: int) -> "ThermalProfile":
         """A new profile holding only the last ``num_samples`` samples."""
         clipped = ThermalProfile(self.num_cores, self.sample_period_s)
-        for core in range(self.num_cores):
-            clipped._samples[core] = self._samples[core][-num_samples:]
+        clipped._adopt(self._data[:, : self._len][:, -num_samples:])
         return clipped
 
     def window(self, start_s: float, end_s: Optional[float] = None) -> "ThermalProfile":
@@ -98,8 +130,7 @@ class ThermalProfile:
         first = max(0, int(start_s / self.sample_period_s))
         last = min(len(self), int(end_s / self.sample_period_s))
         clipped = ThermalProfile(self.num_cores, self.sample_period_s)
-        for core in range(self.num_cores):
-            clipped._samples[core] = self._samples[core][first:last]
+        clipped._adopt(self._data[:, first:last])
         return clipped
 
     # ------------------------------------------------------------------
@@ -120,16 +151,24 @@ class ThermalProfile:
 
     def per_core_average_c(self) -> List[float]:
         """Mean temperature of each core."""
-        return [float(np.mean(s)) for s in self._samples]
+        return [
+            float(np.mean(self._data[core, : self._len]))
+            for core in range(self.num_cores)
+        ]
 
     def per_core_peak_c(self) -> List[float]:
         """Peak temperature of each core."""
-        return [float(np.max(s)) for s in self._samples]
+        return [
+            float(np.max(self._data[core, : self._len]))
+            for core in range(self.num_cores)
+        ]
 
     def core_reports(self, config: ReliabilityConfig) -> List[MttfReport]:
         """Per-core reliability reports (aging + cycling MTTF)."""
         return [
-            evaluate_profile(self._samples[core], self.sample_period_s, config)
+            evaluate_profile(
+                self._data[core, : self._len].tolist(), self.sample_period_s, config
+            )
             for core in range(self.num_cores)
         ]
 

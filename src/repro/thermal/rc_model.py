@@ -88,6 +88,13 @@ class RCThermalModel:
                 )
             self._temps = temps.copy()
 
+        # Scratch buffers of the per-tick fast path (_step_into): the
+        # injection vector and the two matrix-vector products.  They are
+        # reused every tick so a step allocates nothing.
+        self._injection = np.empty(self._num_nodes, dtype=float)
+        self._mv_state = np.empty(self._num_nodes, dtype=float)
+        self._mv_input = np.empty(self._num_nodes, dtype=float)
+
     # ------------------------------------------------------------------
     # State access
     # ------------------------------------------------------------------
@@ -136,9 +143,32 @@ class RCThermalModel:
             raise ValueError(f"expected {self.num_cores} core powers")
         if np.any(powers < 0.0) or spreader_power_w < 0.0:
             raise ValueError("power cannot be negative")
-        injection = np.concatenate([powers, [spreader_power_w]]) + self._ambient_injection
-        self._temps = self._propagator @ self._temps + self._input_matrix @ injection
+        self._step_into(powers, spreader_power_w)
         return self.core_temps_c()
+
+    def _step_into(self, core_powers_w, spreader_power_w: float) -> None:
+        """Unchecked in-place tick: the hot path behind :meth:`step`.
+
+        Advances ``_temps`` exactly as ``step`` does — same matrices,
+        same operation order — but writes into preallocated scratch
+        buffers instead of concatenating/allocating, and performs no
+        argument validation.  ``core_powers_w`` may be any length-matched
+        sequence (the chip passes a plain list).  Callers other than
+        :meth:`step` (i.e. :meth:`repro.soc.chip.Chip.step`) are
+        responsible for non-negative, correctly-sized inputs.
+
+        ``A @ x`` on a 2-D/1-D pair *is* ``np.matmul``, so routing the
+        two products through ``np.matmul(..., out=...)`` reproduces the
+        seed's ``propagator @ temps + input_matrix @ injection``
+        bit-for-bit while reusing the output buffers.
+        """
+        injection = self._injection
+        injection[:-1] = core_powers_w
+        injection[-1] = spreader_power_w
+        injection += self._ambient_injection
+        np.matmul(self._propagator, self._temps, out=self._mv_state)
+        np.matmul(self._input_matrix, injection, out=self._mv_input)
+        np.add(self._mv_state, self._mv_input, out=self._temps)
 
     def steady_state(
         self, core_powers_w: Sequence[float], spreader_power_w: float = 0.0

@@ -74,7 +74,12 @@ class SensorBank:
         temps = np.asarray(true_temps_c, dtype=float)
         if temps.shape != (self.num_cores,):
             raise ValueError(f"expected {self.num_cores} temperatures")
-        if self.config.ema_tau_s > 0.0:
+        config = self.config
+        # One fresh buffer per call (the caller keeps the reading); every
+        # later stage mutates it in place.  Each in-place ufunc performs
+        # the same elementwise operation as the seed's allocating
+        # expression, so readings are bit-identical.
+        if config.ema_tau_s > 0.0:
             if self._ema is None:
                 self._ema = temps.copy()
             else:
@@ -82,11 +87,11 @@ class SensorBank:
             readings = self._ema.copy()
         else:
             readings = temps.copy()
-        if self.config.noise_std_c > 0.0:
-            readings = readings + self._rng.normal(
-                0.0, self.config.noise_std_c, size=self.num_cores
-            )
-        if self.config.quantisation_c > 0.0:
-            step = self.config.quantisation_c
-            readings = np.round(readings / step) * step
-        return np.clip(readings, self.config.min_c, self.config.max_c)
+        if config.noise_std_c > 0.0:
+            readings += self._rng.normal(0.0, config.noise_std_c, size=self.num_cores)
+        if config.quantisation_c > 0.0:
+            step = config.quantisation_c
+            readings /= step
+            np.round(readings, out=readings)
+            readings *= step
+        return np.clip(readings, config.min_c, config.max_c, out=readings)

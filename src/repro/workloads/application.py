@@ -17,6 +17,13 @@ import numpy as np
 
 from repro.workloads.thread_model import SimThread, ThreadPhase, WorkloadSpec
 
+#: Phase singletons compared by identity on the tick path (an attribute
+#: read instead of a property call per thread).
+_COMPUTE = ThreadPhase.COMPUTE
+_BARRIER = ThreadPhase.BARRIER
+_SYNC = ThreadPhase.SYNC
+_DONE = ThreadPhase.DONE
+
 
 class PerformanceMetric(enum.Enum):
     """How an application's performance is expressed."""
@@ -76,7 +83,10 @@ class Application:
     @property
     def done(self) -> bool:
         """True once every thread finished all iterations."""
-        return all(thread.done for thread in self.threads)
+        for thread in self.threads:
+            if thread.phase is not _DONE:
+                return False
+        return True
 
     @property
     def completed_iterations(self) -> int:
@@ -112,8 +122,16 @@ class Application:
                     thread.finish_sync()
             return
 
-        active = [t for t in self.threads if not t.done]
-        if active and all(t.phase is ThreadPhase.BARRIER for t in active):
+        active = []
+        all_at_barrier = True
+        for thread in self.threads:
+            phase = thread.phase
+            if phase is _DONE:
+                continue
+            active.append(thread)
+            if phase is not _BARRIER:
+                all_at_barrier = False
+        if active and all_at_barrier:
             # Barrier reached by everyone: record the iteration and enter
             # the dependent section.
             self._completion_times_s.append(self._elapsed_s)
@@ -133,26 +151,30 @@ class Application:
         ``num_threads`` thread-iterations, so throughput stays comparable
         to the barrier-synced metric.
         """
+        sync_s = self._thread_sync_s
+        spec = self.spec
         for thread in self.threads:
-            if thread.done:
-                self._thread_sync_s.pop(thread.thread_id, None)
+            phase = thread.phase
+            if phase is _DONE:
+                sync_s.pop(thread.thread_id, None)
                 continue
-            if thread.phase is ThreadPhase.BARRIER:
+            if phase is _BARRIER:
                 thread.release_barrier()
-                self._thread_sync_s[thread.thread_id] = self.spec.sync_time_s
-            if thread.phase is ThreadPhase.SYNC:
-                remaining = self._thread_sync_s.get(thread.thread_id, 0.0) - dt
+                sync_s[thread.thread_id] = spec.sync_time_s
+                phase = _SYNC  # release_barrier: BARRIER -> SYNC
+            if phase is _SYNC:
+                remaining = sync_s.get(thread.thread_id, 0.0) - dt
                 if remaining <= 0.0:
-                    self._thread_sync_s.pop(thread.thread_id, None)
+                    sync_s.pop(thread.thread_id, None)
                     has_work = self._queue_remaining > 0
                     if has_work:
                         self._queue_remaining -= 1
                     thread.continue_from_queue(has_work)
                     self._thread_completions += 1
-                    if self._thread_completions % self.spec.num_threads == 0:
+                    if self._thread_completions % spec.num_threads == 0:
                         self._completion_times_s.append(self._elapsed_s)
                 else:
-                    self._thread_sync_s[thread.thread_id] = remaining
+                    sync_s[thread.thread_id] = remaining
 
     # ------------------------------------------------------------------
     # Performance

@@ -1,0 +1,370 @@
+"""Reference copy of the seed scheduler (pre fast-path), for equivalence tests.
+
+This is the seed implementation of :mod:`repro.sched.scheduler` preserved
+verbatim: every placement decision recomputes the per-core runnable counts
+with O(threads x cores) scans, phase 3 rebuilds the run/wait lists with
+list comprehensions, and ``np.argmax``/``np.argmin`` pick the
+busiest/idlest cores.  The randomized property test in
+``test_sched_fastpath.py`` drives this class and the production fast path
+with identical inputs and asserts identical placements, migration counts
+and :class:`~repro.sched.scheduler.CoreLoad` values.
+
+Do not optimise this file: its value is being the old semantics.
+"""
+
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sched.affinity import AffinityMapping
+from repro.sched.perf import PerfCounters
+from repro.sched.scheduler import CoreLoad
+from repro.workloads.thread_model import SimThread
+
+
+class ReferenceScheduler:
+    """Thread placement and execution for one chip.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of cores on the chip.
+    perf:
+        Counter sink for migrations (optional).
+    rebalance_period_s:
+        How often the periodic load balancer runs.
+    packing_threshold:
+        Smoothed busy-fraction below which wake placement packs threads
+        onto already-busy cores.
+    pack_cap:
+        Maximum runnable threads a core accepts while packing.
+    idle_activity:
+        Activity factor contributed by a waiting (non-runnable) thread.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        perf: Optional[PerfCounters] = None,
+        rebalance_period_s: float = 1.0,
+        idle_pull_delay_s: float = 1.0,
+        packing_threshold: float = 0.60,
+        pack_cap: int = 3,
+        idle_activity: float = 0.02,
+    ) -> None:
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self.perf = perf if perf is not None else PerfCounters()
+        self.rebalance_period_s = rebalance_period_s
+        self.idle_pull_delay_s = idle_pull_delay_s
+        self.packing_threshold = packing_threshold
+        self.pack_cap = pack_cap
+        self.idle_activity = idle_activity
+
+        self._threads: List[SimThread] = []
+        self._mapping: Optional[AffinityMapping] = None
+        self._core_of: Dict[SimThread, int] = {}
+        self._prev_runnable: Dict[SimThread, bool] = {}
+        self._stalled: set = set()
+        self._stall_s = np.zeros(num_cores)
+        self._idle_for_s = np.zeros(num_cores)
+        self._busy_ewma = 0.0
+        self._since_rebalance_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Thread and mapping management
+    # ------------------------------------------------------------------
+
+    @property
+    def threads(self) -> List[SimThread]:
+        """Threads currently under management."""
+        return list(self._threads)
+
+    @property
+    def mapping(self) -> Optional[AffinityMapping]:
+        """The active affinity mapping (None = OS default)."""
+        return self._mapping
+
+    def set_threads(
+        self, threads: Sequence[SimThread], mapping: Optional[AffinityMapping] = None
+    ) -> None:
+        """Adopt a fresh thread set (application start or switch)."""
+        self._threads = list(threads)
+        self._core_of.clear()
+        # Fresh threads are not "waking" — wake-affine packing applies
+        # only to genuine sync->compute transitions later on.
+        self._prev_runnable = {t: t.runnable for t in self._threads}
+        self._stalled.clear()
+        self._mapping = None
+        if mapping is not None:
+            self.set_mapping(mapping)
+        for thread in self._threads:
+            self._place(thread, initial=True)
+
+    def set_mapping(self, mapping: Optional[AffinityMapping]) -> None:
+        """Apply a new affinity mapping, migrating violating threads.
+
+        This is the simulator's ``pthread_setaffinity_np``: threads whose
+        current core is outside their new mask are migrated immediately
+        (and charged a migration), others stay put.
+        """
+        if mapping is not None:
+            mapping.validate(self.num_cores)
+            if self._threads and mapping.num_threads < len(self._threads):
+                raise ValueError(
+                    f"mapping covers {mapping.num_threads} threads, "
+                    f"have {len(self._threads)}"
+                )
+        self._mapping = mapping
+        for thread in self._threads:
+            core = self._core_of.get(thread)
+            if core is not None and not self._allows(thread, core):
+                self._migrate(thread)
+
+    def stall_all(self, seconds: float) -> None:
+        """Steal CPU time from every core (management overhead)."""
+        if seconds < 0.0:
+            raise ValueError("stall cannot be negative")
+        self._stall_s += seconds
+
+    # ------------------------------------------------------------------
+    # Placement internals
+    # ------------------------------------------------------------------
+
+    def _allows(self, thread: SimThread, core: int) -> bool:
+        if self._mapping is None:
+            return True
+        return self._mapping.allows(thread.thread_id, core)
+
+    def _allowed_cores(self, thread: SimThread) -> List[int]:
+        return [c for c in range(self.num_cores) if self._allows(thread, c)]
+
+    def _runnable_count(self, core: int) -> int:
+        # Stalled (just-migrated) threads still occupy the run queue for
+        # placement purposes; they are only excluded from execution.
+        return sum(
+            1
+            for t in self._threads
+            if t.runnable and self._core_of.get(t) == core
+        )
+
+    def _pick_core(self, thread: SimThread, wake: bool) -> int:
+        """Choose a core for a (newly placed or waking) thread."""
+        allowed = self._allowed_cores(thread)
+        if len(allowed) == 1:
+            return allowed[0]
+        counts = {core: self._runnable_count(core) for core in allowed}
+        if wake and self._busy_ewma < self.packing_threshold:
+            # Wake-affine packing: prefer the busiest core with headroom,
+            # consolidating onto low-id cores (all-idle tie), which is
+            # how low-duty workloads end up "using only a few cores".
+            candidates = [c for c in allowed if counts[c] < self.pack_cap]
+            if candidates:
+                best = max(counts[c] for c in candidates)
+                busiest = [c for c in candidates if counts[c] == best]
+                return min(busiest)
+        # Load balancing: least-loaded core, previous core breaking ties.
+        least = min(counts.values())
+        idlest = [c for c in allowed if counts[c] == least]
+        if thread.last_core in idlest:
+            return thread.last_core
+        return min(idlest)
+
+    def _place(self, thread: SimThread, initial: bool = False, wake: bool = False) -> None:
+        core = self._pick_core(thread, wake=wake)
+        previous = self._core_of.get(thread)
+        self._core_of[thread] = core
+        thread.core = core
+        if previous is not None and previous != core:
+            thread.last_core = previous
+            self.perf.record_migration()
+            self._stalled.add(thread)
+        elif initial:
+            thread.last_core = core
+
+    def _migrate(self, thread: SimThread) -> None:
+        self._place(thread, wake=False)
+
+    def _rebalance(self) -> None:
+        """Move runnable threads from the busiest to the idlest core."""
+        for _ in range(2):  # at most two migrations per balancing pass
+            counts = [self._runnable_count(core) for core in range(self.num_cores)]
+            busiest = int(np.argmax(counts))
+            idlest = int(np.argmin(counts))
+            if counts[busiest] - counts[idlest] < 2:
+                return
+            movable = [
+                t
+                for t in self._threads
+                if t.runnable
+                and self._core_of.get(t) == busiest
+                and self._allows(t, idlest)
+                and t not in self._stalled
+            ]
+            if not movable:
+                return
+            thread = movable[0]
+            thread.last_core = busiest
+            self._core_of[thread] = idlest
+            thread.core = idlest
+            self.perf.record_migration()
+            self._stalled.add(thread)
+
+    # ------------------------------------------------------------------
+    # Tick
+    # ------------------------------------------------------------------
+
+    def tick(self, frequencies_hz: Sequence[float], dt: float) -> List[CoreLoad]:
+        """Place, balance and execute all threads for one tick.
+
+        Parameters
+        ----------
+        frequencies_hz:
+            Per-core clock frequencies for this tick.
+        dt:
+            Tick length in seconds.
+
+        Returns
+        -------
+        list of :class:`CoreLoad`
+            Per-core utilisation/activity the governor and power model
+            consume.
+        """
+        if len(frequencies_hz) != self.num_cores:
+            raise ValueError(f"expected {self.num_cores} frequencies")
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+
+        # 1. Handle wakes and placement.
+        for thread in self._threads:
+            if thread.done:
+                continue
+            woke = thread.runnable and not self._prev_runnable.get(thread, False)
+            if self._core_of.get(thread) is None:
+                self._place(thread, initial=True)
+            elif not self._allows(thread, self._core_of[thread]):
+                self._migrate(thread)
+            elif woke and self._mapping_is_free(thread):
+                self._place(thread, wake=True)
+
+        # 2a. Newly-idle balancing: a core that has sat idle for longer
+        # than the pull delay steals a runnable thread from the busiest
+        # core (Linux's idle balancing, with its reaction latency).
+        for core in range(self.num_cores):
+            if self._runnable_count(core) == 0:
+                self._idle_for_s[core] += dt
+            else:
+                self._idle_for_s[core] = 0.0
+        for core in range(self.num_cores):
+            if self._idle_for_s[core] < self.idle_pull_delay_s:
+                continue
+            counts = [self._runnable_count(c) for c in range(self.num_cores)]
+            busiest = int(np.argmax(counts))
+            if counts[busiest] < 2:
+                continue
+            movable = [
+                t
+                for t in self._threads
+                if t.runnable
+                and self._core_of.get(t) == busiest
+                and self._allows(t, core)
+                and t not in self._stalled
+            ]
+            if not movable:
+                continue
+            thread = movable[0]
+            thread.last_core = busiest
+            self._core_of[thread] = core
+            thread.core = core
+            self.perf.record_migration()
+            self._stalled.add(thread)
+            self._idle_for_s[core] = 0.0
+
+        # 2b. Periodic load balancing (only for non-pinned threads).
+        self._since_rebalance_s += dt
+        if self._since_rebalance_s >= self.rebalance_period_s:
+            self._since_rebalance_s = 0.0
+            self._rebalance()
+
+        # 3. Execute.
+        loads = []
+        for core in range(self.num_cores):
+            stall = min(float(self._stall_s[core]), dt)
+            self._stall_s[core] -= stall
+            effective_dt = dt - stall
+            runnable = [
+                t
+                for t in self._threads
+                if t.runnable and self._core_of.get(t) == core and t not in self._stalled
+            ]
+            waiting = [
+                t
+                for t in self._threads
+                if not t.runnable
+                and not t.done
+                and self._core_of.get(t) == core
+            ]
+            executed = 0.0
+            if runnable:
+                share = effective_dt / len(runnable)
+                for thread in runnable:
+                    cycles = frequencies_hz[core] * share
+                    thread.execute(cycles)
+                    executed += cycles
+                self.perf.record_execution(executed)
+            utilisation = min(
+                1.0,
+                (len(runnable) * 1.0 + len(waiting) * 0.03) * (effective_dt / dt)
+                + (stall / dt),
+            )
+            if runnable:
+                activity = sum(t.activity for t in runnable) / len(runnable)
+                activity *= effective_dt / dt
+            else:
+                activity = 0.0
+            activity = min(1.0, activity + self.idle_activity * len(waiting))
+            loads.append(
+                CoreLoad(
+                    utilisation=utilisation,
+                    activity=activity,
+                    num_runnable=len(runnable),
+                    executed_cycles=executed,
+                )
+            )
+
+        # 4. Bookkeeping for the next tick.
+        busy_fraction = sum(1 for load in loads if load.num_runnable > 0) / self.num_cores
+        ewma_weight = min(1.0, dt / 2.0)  # ~2 s smoothing
+        self._busy_ewma += ewma_weight * (busy_fraction - self._busy_ewma)
+        self._stalled.clear()
+        for thread in self._threads:
+            self._prev_runnable[thread] = thread.runnable
+        return loads
+
+    def _mapping_is_free(self, thread: SimThread) -> bool:
+        """Whether the thread has more than one allowed core."""
+        if self._mapping is None:
+            return True
+        mask = self._mapping.mask_for(thread.thread_id)
+        return mask is None or len(mask) > 1
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, experiments)
+    # ------------------------------------------------------------------
+
+    def core_of(self, thread: SimThread) -> Optional[int]:
+        """Core a thread currently occupies."""
+        return self._core_of.get(thread)
+
+    def runnable_counts(self) -> List[int]:
+        """Per-core runnable-thread counts."""
+        return [self._runnable_count(core) for core in range(self.num_cores)]
+
+    @property
+    def busy_ewma(self) -> float:
+        """Smoothed busy-core fraction driving the packing decision."""
+        return self._busy_ewma

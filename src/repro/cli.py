@@ -25,7 +25,9 @@ never clobbers the committed full-scale artefacts.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.config import EngineConfig
 from repro.experiments.engine import ExperimentEngine
@@ -89,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the per-artefact tables (summary only)",
     )
+    everything.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write sweep metrics to PATH (Prometheus text for .prom, "
+        "JSON otherwise)",
+    )
     _add_engine_flags(everything)
 
     run = sub.add_parser("run", help="run one workload under one policy")
@@ -112,6 +121,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="run under cProfile and print the hottest functions",
+    )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a schema-versioned JSONL event trace of the run",
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect metrics and export them as JSON + Prometheus text",
+    )
+    run.add_argument(
+        "--obs-dir",
+        default="obs",
+        help="directory for trace/metrics/result/manifest artefacts "
+        "(default ./obs)",
+    )
+
+    trace = sub.add_parser("trace", help="inspect JSONL run traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="validate a trace and recompute its headline statistics",
+    )
+    summarize.add_argument("path", help="trace.jsonl file to summarise")
+    summarize.add_argument(
+        "--check-result",
+        default=None,
+        metavar="RESULT_JSON",
+        help="fail (exit 1) unless the recomputed headline matches this "
+        "result.json's embedded trace summary",
     )
 
     bench = sub.add_parser(
@@ -158,8 +198,21 @@ def _engine_from(args: argparse.Namespace) -> ExperimentEngine:
     )
 
 
+def _write_metrics(registry, path: Path) -> None:
+    """Export a registry: Prometheus text for ``.prom``, JSON otherwise."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".prom":
+        path.write_text(registry.render_prometheus())
+    else:
+        path.write_text(registry.to_json() + "\n")
+
+
 def _command_all(args: argparse.Namespace) -> int:
     engine = _engine_from(args)
+    if args.metrics is not None:
+        from repro.obs import MetricsRegistry
+
+        engine.metrics = MetricsRegistry()
     artefacts = args.only.split(",") if args.only else None
     report = regenerate_all(
         iteration_scale=args.scale,
@@ -174,6 +227,10 @@ def _command_all(args: argparse.Namespace) -> int:
             print()
     for line in report.summary_lines():
         print(line)
+    if args.metrics is not None:
+        path = Path(args.metrics)
+        _write_metrics(engine.metrics, path)
+        print(f"metrics written to {path}")
     return 0
 
 
@@ -184,6 +241,15 @@ def _command_run(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
+    instrumentation = None
+    registry = None
+    tracer = None
+    if args.trace or args.metrics:
+        from repro.obs import Instrumentation, MetricsRegistry, TraceEmitter
+
+        registry = MetricsRegistry() if args.metrics else None
+        tracer = TraceEmitter() if args.trace else None
+        instrumentation = Instrumentation(registry=registry, tracer=tracer)
     summary = run_workload(
         args.app,
         args.dataset,
@@ -192,6 +258,7 @@ def _command_run(args: argparse.Namespace) -> int:
         iteration_scale=args.scale,
         faults=fault_config_for(args.faults),
         supervisor=default_supervisor_config() if args.supervised else None,
+        instrumentation=instrumentation,
     )
     if profiler is not None:
         import pstats
@@ -226,6 +293,102 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         print(f"  supervisor fixups   : {fixups:8.0f}")
         print(f"  emergencies         : {stats.get('emergencies', 0.0):8.0f}")
+    if instrumentation is not None:
+        _write_run_observability(args, summary, registry, tracer)
+    return 0
+
+
+def _write_run_observability(
+    args: argparse.Namespace, summary, registry, tracer
+) -> None:
+    """Write the trace/metrics/result/manifest artefacts of one run."""
+    from repro.obs import build_manifest, summarize_events, write_events
+
+    obs_dir = Path(args.obs_dir)
+    obs_dir.mkdir(parents=True, exist_ok=True)
+    run_config = {
+        "app": args.app,
+        "dataset": args.dataset,
+        "policy": args.policy,
+        "seed": args.seed,
+        "scale": args.scale,
+        "faults": args.faults,
+        "supervised": bool(args.supervised),
+    }
+    result_doc = {
+        "run": run_config,
+        "summary": {
+            "average_temp_c": summary.average_temp_c,
+            "peak_temp_c": summary.peak_temp_c,
+            "aging_mttf_years": summary.aging_mttf_years,
+            "cycling_mttf_years": summary.cycling_mttf_years,
+            "num_cycles": summary.num_cycles,
+            "execution_time_s": summary.execution_time_s,
+            "throughput": summary.throughput,
+            "completed": summary.completed,
+        },
+    }
+    paths = []
+    if tracer is not None:
+        paths.append(write_events(tracer.events, obs_dir / "trace.jsonl"))
+        # The headline the trace alone must reproduce (checked by
+        # `repro trace summarize --check-result`).
+        result_doc["trace"] = summarize_events(
+            tracer.events, validate=False
+        ).as_dict()
+    if registry is not None:
+        metrics_json = obs_dir / "metrics.json"
+        metrics_json.write_text(registry.to_json() + "\n")
+        metrics_prom = obs_dir / "metrics.prom"
+        metrics_prom.write_text(registry.render_prometheus())
+        paths.extend([metrics_json, metrics_prom])
+    result_path = obs_dir / "result.json"
+    result_path.write_text(
+        json.dumps(result_doc, indent=2, sort_keys=True) + "\n"
+    )
+    paths.append(result_path)
+    manifest = build_manifest(run_config, run=run_config, repo_dir=obs_dir)
+    for path in paths:
+        manifest.add_artefact(path, obs_dir)
+    manifest_path = manifest.write(obs_dir)
+    for path in paths + [manifest_path]:
+        print(f"wrote {path}")
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        TraceValidationError,
+        format_summary,
+        read_events,
+        summarize_events,
+    )
+
+    try:
+        summary = summarize_events(read_events(args.path), validate=True)
+    except TraceValidationError as exc:
+        print(f"invalid trace: {exc}")
+        return 1
+    print(format_summary(summary))
+    if args.check_result is not None:
+        document = json.loads(Path(args.check_result).read_text())
+        recorded = document.get("trace")
+        if recorded is None:
+            print(f"{args.check_result} embeds no trace summary")
+            return 1
+        recomputed = summary.as_dict()
+        mismatches = [
+            key
+            for key in recorded
+            if recorded[key] != recomputed.get(key)
+        ]
+        if mismatches:
+            for key in mismatches:
+                print(
+                    f"MISMATCH {key}: result.json has {recorded[key]!r}, "
+                    f"trace gives {recomputed.get(key)!r}"
+                )
+            return 1
+        print(f"trace matches {args.check_result}")
     return 0
 
 
@@ -277,6 +440,8 @@ def main(argv=None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "bench":
         return _command_bench(args)
     if args.command == "all":

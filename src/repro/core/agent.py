@@ -21,9 +21,12 @@ action indices.  :mod:`repro.core.manager` binds it to the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.instrument import Instrumentation
 
 from repro.config import AgentConfig, ReliabilityConfig
 from repro.core.actions import ActionSpace, build_action_space
@@ -151,6 +154,8 @@ class QLearningThermalAgent:
         self._last_inter_epoch = -(10**9)
         self.stats = AgentStats()
         self.last_observation: Optional[EpochObservation] = None
+        #: Optional observation-only hook (set by the manager).
+        self.obs: "Optional[Instrumentation]" = None
 
     # ------------------------------------------------------------------
     # Sampling
@@ -174,7 +179,9 @@ class QLearningThermalAgent:
         stacked = np.stack(self._trec)  # (samples, cores)
         return [list(stacked[:, core]) for core in range(stacked.shape[1])]
 
-    def decide(self, performance: float, constraint: float) -> int:
+    def decide(
+        self, performance: float, constraint: float, now_s: float = 0.0
+    ) -> int:
         """Run one decision epoch of Algorithm 1 and pick an action.
 
         Parameters
@@ -183,6 +190,9 @@ class QLearningThermalAgent:
             Measured performance ``P`` over the ending epoch.
         constraint:
             The application's performance constraint ``Pc``.
+        now_s:
+            Simulation time of the decision, used only to timestamp
+            trace events (the agent itself has no clock).
 
         Returns
         -------
@@ -234,6 +244,15 @@ class QLearningThermalAgent:
             self._last_policy = None
             self._last_inter_epoch = self.stats.epochs
             self.stats.inter_events += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "variation",
+                    now_s,
+                    kind="inter",
+                    delta_stress_ma=float(report.delta_stress_ma),
+                    delta_aging_ma=float(report.delta_aging_ma),
+                    applied=True,
+                )
         elif report.kind is VariationKind.INTRA:
             # Restore the end-of-exploration table and resume from
             # alpha_exp — but only once the agent has actually settled
@@ -244,10 +263,21 @@ class QLearningThermalAgent:
             cooled_down = (
                 self.stats.epochs - self._last_intra_epoch >= self.config.ma_window
             )
+            applied = False
             if settled and cooled_down and self.qtable.restore_exploration():
                 self.schedule.restart_intra()
                 self._last_intra_epoch = self.stats.epochs
                 self.stats.intra_events += 1
+                applied = True
+            if self.obs is not None:
+                self.obs.emit(
+                    "variation",
+                    now_s,
+                    kind="intra",
+                    delta_stress_ma=float(report.delta_stress_ma),
+                    delta_aging_ma=float(report.delta_aging_ma),
+                    applied=applied,
+                )
 
         # 2. Identify the state.
         state = self.states.state_of(observation)
@@ -271,6 +301,18 @@ class QLearningThermalAgent:
                 alpha,
                 self.config.discount,
             )
+            if self.obs is not None:
+                self.obs.emit(
+                    "q_update",
+                    now_s,
+                    state=int(self._prev_state),
+                    action=int(self._prev_action),
+                    reward=float(breakdown.total),
+                    alpha=float(alpha),
+                    q_value=float(
+                        self.qtable.value(self._prev_state, self._prev_action)
+                    ),
+                )
 
         # Bookkeeping of the learning phases: note when exploration
         # ends, and capture the static second Q-table once the agent
@@ -324,6 +366,17 @@ class QLearningThermalAgent:
         self.stats.last_action_label = label
         self.stats.action_counts[label] = self.stats.action_counts.get(label, 0) + 1
         self._track_convergence()
+        if self.obs is not None:
+            self.obs.emit(
+                "decision",
+                now_s,
+                epoch=self.stats.epochs - 1,
+                state=int(state),
+                action=int(action),
+                action_label=label,
+                phase=self.schedule.phase.value,
+                alpha=float(self.schedule.alpha),
+            )
         return action
 
     def _track_convergence(self) -> None:

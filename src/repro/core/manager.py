@@ -51,6 +51,7 @@ class ProposedThermalManager(ThermalManagerBase):
     def attach(self, sim: Simulation) -> None:
         """Reset sampling state at the start of a run."""
         self._next_sample_s = self.config.sampling_interval_s
+        self.agent.obs = sim.obs
 
     def on_tick(self, sim: Simulation) -> None:
         """Sample at the sampling interval; decide at decision epochs."""
@@ -64,7 +65,7 @@ class ProposedThermalManager(ThermalManagerBase):
         app = sim.current_app
         performance = app.throughput(window_s=self.config.decision_epoch_s)
         constraint = app.spec.performance_constraint
-        action_index = self.agent.decide(performance, constraint)
+        action_index = self.agent.decide(performance, constraint, now_s=sim.now)
         action = self.agent.actions[action_index]
         self._apply(sim, action, app)
         sim.charge_decision_overhead()

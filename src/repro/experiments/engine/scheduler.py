@@ -30,6 +30,11 @@ from repro.experiments.engine.cache import ResultCache
 from repro.experiments.engine.spec import JobSpec
 from repro.experiments.engine.worker import execute_job
 from repro.experiments.runner import RunSummary
+from repro.obs.metrics import (
+    DURATION_BUCKETS_S,
+    MetricsRegistry,
+    TEMPERATURE_BUCKETS_C,
+)
 
 
 @dataclass
@@ -71,11 +76,18 @@ class ExperimentEngine:
         A :class:`ResultCache`, or ``None`` to disable caching.  The
     default engine (``ExperimentEngine()``) is the serial, uncached
     degenerate case every experiment module falls back to.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  After
+        every batch the engine folds its scheduling counters and
+        per-job rollups (average temperature, execution time) into it,
+        in submission order — so serial and parallel execution of the
+        same batch produce identical metric state.
     """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
     stats: EngineStats = field(default_factory=EngineStats)
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -133,7 +145,44 @@ class ExperimentEngine:
                 if self.cache is not None:
                     self.cache.put(unique[index], summary)
 
-        return [results[slot] for slot in placement]
+        ordered = [results[slot] for slot in placement]
+        if self.metrics is not None:
+            self._fold_metrics(len(specs), len(pending), ordered)
+        return ordered
+
+    def _fold_metrics(
+        self, submitted: int, executed: int, ordered: Sequence[RunSummary]
+    ) -> None:
+        """Roll one batch up into the attached metrics registry."""
+        registry = self.metrics
+        registry.counter(
+            "repro_engine_jobs_submitted_total", "jobs submitted to the engine"
+        ).inc(submitted)
+        registry.counter(
+            "repro_engine_jobs_executed_total", "jobs that ran a simulation"
+        ).inc(executed)
+        registry.gauge(
+            "repro_engine_cache_hits", "lifetime cache hits of this engine"
+        ).set(self.stats.cache_hits)
+        registry.gauge(
+            "repro_engine_cache_misses", "lifetime cache misses of this engine"
+        ).set(self.stats.cache_misses)
+        registry.gauge(
+            "repro_engine_deduplicated", "lifetime duplicate submissions shared"
+        ).set(self.stats.deduplicated)
+        temp_hist = registry.histogram(
+            "repro_job_avg_temp_c",
+            TEMPERATURE_BUCKETS_C,
+            "per-job average temperature (degC)",
+        )
+        time_hist = registry.histogram(
+            "repro_job_execution_time_s",
+            DURATION_BUCKETS_S,
+            "per-job simulated execution time (s)",
+        )
+        for summary in ordered:
+            temp_hist.observe(summary.average_temp_c)
+            time_hist.observe(summary.execution_time_s)
 
     def run_one(self, spec: JobSpec) -> RunSummary:
         """Convenience wrapper for a single job."""

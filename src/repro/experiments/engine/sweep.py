@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.experiments.ablation import run_ablation
 from repro.experiments.engine.cache import artifact_dir
 from repro.experiments.engine.scheduler import EngineStats, ExperimentEngine
+from repro.obs.metrics import MetricsRegistry
 from repro.experiments.fault_tolerance import run_fault_tolerance
 from repro.experiments.fig1_motivation import run_fig1
 from repro.experiments.fig3_inter import run_fig3
@@ -65,6 +66,8 @@ class SweepReport:
     stats: Optional[EngineStats] = None
     output_dir: Optional[Path] = None
     elapsed_s: float = 0.0
+    #: The engine's metrics registry, when one was attached.
+    metrics: Optional[MetricsRegistry] = None
 
     def summary_lines(self) -> List[str]:
         """Human-readable closing summary for the CLI."""
@@ -140,6 +143,12 @@ def regenerate_all(
                 elapsed_s=time.perf_counter() - start,
             )
         )
+        if engine.metrics is not None:
+            engine.metrics.counter(
+                "repro_artefacts_regenerated_total",
+                "artefact tables written by repro all",
+            ).inc()
     report.stats = engine.stats
+    report.metrics = engine.metrics
     report.elapsed_s = time.perf_counter() - sweep_start
     return report

@@ -221,6 +221,7 @@ def run_workload(
     max_time_s: float = 20000.0,
     faults: Optional[FaultConfig] = None,
     supervisor: Optional[SupervisorConfig] = None,
+    instrumentation=None,
 ) -> RunSummary:
     """Run one application under one policy (train + measure).
 
@@ -252,6 +253,9 @@ def run_workload(
         Optional fault model and graceful-degradation layer (see
         :mod:`repro.faults`); both default to off, leaving the run
         bit-identical to the fault-free engine.
+    instrumentation:
+        Optional observation-only :class:`repro.obs.Instrumentation`
+        hook; attaching it never changes the run's trajectory.
     """
     _validate_policy(policy)
     reliability = (
@@ -277,6 +281,7 @@ def run_workload(
         max_time_s=max_time_s,
         faults=faults,
         supervisor=supervisor,
+        instrumentation=instrumentation,
     )
     result = sim.run()
     measured = result.app_records[train_passes:]
@@ -337,6 +342,7 @@ def run_scenario(
     max_time_s: float = 30000.0,
     faults: Optional[FaultConfig] = None,
     supervisor: Optional[SupervisorConfig] = None,
+    instrumentation=None,
 ) -> RunSummary:
     """Run an inter-application scenario (Figure 3).
 
@@ -365,6 +371,7 @@ def run_scenario(
         max_time_s=max_time_s,
         faults=faults,
         supervisor=supervisor,
+        instrumentation=instrumentation,
     )
     result = sim.run()
     if result.total_time_s <= WARMUP_SKIP_S:

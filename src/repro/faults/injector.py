@@ -22,11 +22,14 @@ stream in the simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.config import FaultConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.instrument import Instrumentation
 
 #: Actuation-call outcomes.
 OUTCOME_OK = "ok"
@@ -88,6 +91,8 @@ class FaultInjector:
         self._stuck_until = np.full(num_cores, -np.inf)
         self._stuck_value = np.zeros(num_cores)
         self.stats = FaultInjectionStats()
+        #: Optional observation-only hook (set by the simulation).
+        self.obs: "Optional[Instrumentation]" = None
 
     # ------------------------------------------------------------------
     # Sensor path
@@ -126,28 +131,45 @@ class FaultInjector:
 
         if config.stuck_prob > 0.0:
             rolls = self._rng.random(self.num_cores)
+            stuck_now = 0
             for core in range(self.num_cores):
                 if now_s < self._stuck_until[core]:
                     out[core] = self._stuck_value[core]
                     self.stats.stuck_reads += 1
+                    stuck_now += 1
                 elif rolls[core] < config.stuck_prob:
                     self._stuck_until[core] = now_s + config.stuck_duration_s
                     self._stuck_value[core] = out[core]
                     self.stats.stuck_events += 1
                     self.stats.stuck_reads += 1
+                    stuck_now += 1
+            if stuck_now and self.obs is not None:
+                self.obs.emit(
+                    "fault", now_s, path="sensor", kind="stuck", count=stuck_now
+                )
 
         if config.spike_prob > 0.0:
             rolls = self._rng.random(self.num_cores)
             signs = np.where(self._rng.random(self.num_cores) < 0.5, -1.0, 1.0)
             spiking = rolls < config.spike_prob
             out[spiking] += signs[spiking] * config.spike_magnitude_c
-            self.stats.spikes += int(np.count_nonzero(spiking))
+            spike_count = int(np.count_nonzero(spiking))
+            self.stats.spikes += spike_count
+            if spike_count and self.obs is not None:
+                self.obs.emit(
+                    "fault", now_s, path="sensor", kind="spike", count=spike_count
+                )
 
         if config.dropout_prob > 0.0:
             rolls = self._rng.random(self.num_cores)
             dropping = rolls < config.dropout_prob
             out[dropping] = np.nan
-            self.stats.dropouts += int(np.count_nonzero(dropping))
+            drop_count = int(np.count_nonzero(dropping))
+            self.stats.dropouts += drop_count
+            if drop_count and self.obs is not None:
+                self.obs.emit(
+                    "fault", now_s, path="sensor", kind="dropout", count=drop_count
+                )
 
         return out
 

@@ -35,6 +35,7 @@ import numpy as np
 from repro.config import SensorConfig, SupervisorConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.instrument import Instrumentation
     from repro.sched.affinity import AffinityMapping
     from repro.soc.simulator import Simulation
 
@@ -63,6 +64,10 @@ class SensorSupervisor:
         self.config = config
         self.sensor = sensor
         self.num_cores = num_cores
+        #: Optional observation-only hook (set by the simulation).  It
+        #: deliberately survives :meth:`reset` — per-run filter state is
+        #: forgotten, the attached sinks are not.
+        self.obs: "Optional[Instrumentation]" = None
         self.reset()
 
     def reset(self) -> None:
@@ -145,17 +150,28 @@ class SensorSupervisor:
         out = raw.copy()
         bad = ~ok
         if bad.any():
+            bad_count = int(np.count_nonzero(bad))
             if ok.any():
                 out[bad] = float(np.median(raw[ok]))
-                self.median_fallbacks += int(np.count_nonzero(bad))
+                self.median_fallbacks += bad_count
+                intervention = "sensor_median_fallback"
             elif self._last_good is not None:
                 out[bad] = self._last_good[bad]
-                self.hold_fallbacks += int(np.count_nonzero(bad))
+                self.hold_fallbacks += bad_count
+                intervention = "sensor_hold_fallback"
             else:
                 # No reference at all: assume the worst (fail hot), so
                 # the emergency logic errs towards protecting the chip.
                 out[bad] = self.sensor.max_c
-                self.failsafe_fallbacks += int(np.count_nonzero(bad))
+                self.failsafe_fallbacks += bad_count
+                intervention = "sensor_failsafe_fallback"
+            if self.obs is not None:
+                self.obs.emit(
+                    "supervisor",
+                    now_s,
+                    intervention=intervention,
+                    count=bad_count,
+                )
         out = np.clip(out, self.sensor.min_c, self.sensor.max_c)
 
         self._last_good = out.copy()
@@ -267,6 +283,7 @@ class ActuationSupervisor:
         if self._attempt_ok(sim, kind):
             return
         self.failures_detected += 1
+        self._emit(sim, "actuation_failure_detected")
         pending = _PendingActuation(
             first_requested_s=sim.now,
             attempts=1,
@@ -275,7 +292,15 @@ class ActuationSupervisor:
         if pending.attempts >= 1 + self.config.max_retries:
             pending.abandoned = True
             self.abandoned += 1
+            self._emit(sim, "actuation_abandoned")
         self._pending[kind] = pending
+
+    def _emit(self, sim: "Simulation", intervention: str) -> None:
+        """Record one supervisor intervention through the sim's hook."""
+        if sim.obs is not None:
+            sim.obs.emit(
+                "supervisor", sim.now, intervention=intervention, count=1
+            )
 
     def on_tick(self, sim: "Simulation") -> None:
         """Advance retries and the emergency state machine by one tick."""
@@ -303,10 +328,12 @@ class ActuationSupervisor:
                 del self._pending[kind]
                 continue
             self.retries += 1
+            self._emit(sim, "actuation_retry")
             pending.attempts += 1
             if pending.attempts >= 1 + self.config.max_retries:
                 pending.abandoned = True
                 self.abandoned += 1
+                self._emit(sim, "actuation_abandoned")
             else:
                 backoff = self.config.retry_backoff_s * 2 ** (pending.attempts - 1)
                 pending.next_retry_s = now + backoff
@@ -321,6 +348,7 @@ class ActuationSupervisor:
         self._engaged_at_s = sim.now
         self._pending.clear()
         sim._engage_thermal_emergency()
+        self._emit(sim, "emergency_engage")
 
     def _release(self, sim: "Simulation") -> None:
         self.emergency_active = False
@@ -328,6 +356,7 @@ class ActuationSupervisor:
             self._emergency_time_s += sim.now - self._engaged_at_s
             self._engaged_at_s = None
         sim._release_thermal_emergency()
+        self._emit(sim, "emergency_release")
         # Re-establish whatever the controller last asked for, through
         # the normal (supervised, possibly faulty) path.
         if self._desired_governor is not None:

@@ -1,0 +1,86 @@
+"""Observability layer: metrics, structured tracing, run manifests.
+
+Three always-deterministic, observation-only building blocks:
+
+* :mod:`repro.obs.metrics` — a process-local
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  fixed-ladder histograms with JSON and Prometheus-text exporters;
+* :mod:`repro.obs.trace` — a schema-versioned JSONL
+  :class:`~repro.obs.trace.TraceEmitter` plus validation and
+  summarisation of emitted traces;
+* :mod:`repro.obs.manifest` — :class:`~repro.obs.manifest.RunManifest`
+  provenance records (config hash, package version, git state,
+  artefact digests) written alongside results.
+
+:class:`~repro.obs.instrument.Instrumentation` bundles a registry and a
+tracer behind the single hook the simulation engine, the learning
+agent, the fault injector and the supervisors call.  Attaching it is
+guaranteed not to change a run's trajectory: the golden masters and the
+serial/parallel identity hold byte-for-byte with observability enabled.
+"""
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA_VERSION,
+    ManifestError,
+    RunManifest,
+    build_manifest,
+    config_digest,
+    file_digest,
+    load_manifest,
+    validate_manifest,
+    verify_artefacts,
+)
+from repro.obs.metrics import (
+    Counter,
+    DURATION_BUCKETS_S,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REWARD_BUCKETS,
+    TEMPERATURE_BUCKETS_C,
+)
+from repro.obs.trace import (
+    EVENT_FIELDS,
+    SCHEMA_VERSION,
+    TraceEmitter,
+    TraceSummary,
+    TraceValidationError,
+    format_summary,
+    read_events,
+    summarize_events,
+    validate_event,
+    write_events,
+)
+
+__all__ = [
+    "Counter",
+    "DURATION_BUCKETS_S",
+    "EVENT_FIELDS",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA_VERSION",
+    "ManifestError",
+    "MetricsRegistry",
+    "REWARD_BUCKETS",
+    "RunManifest",
+    "SCHEMA_VERSION",
+    "TEMPERATURE_BUCKETS_C",
+    "TraceEmitter",
+    "TraceSummary",
+    "TraceValidationError",
+    "build_manifest",
+    "config_digest",
+    "file_digest",
+    "format_summary",
+    "load_manifest",
+    "read_events",
+    "summarize_events",
+    "validate_event",
+    "validate_manifest",
+    "verify_artefacts",
+    "write_events",
+]

@@ -1,0 +1,137 @@
+"""The observation-only instrumentation hub.
+
+An :class:`Instrumentation` object is what the simulation, the agent,
+the fault injector and the supervisors hold a reference to.  Every
+interesting moment funnels through :meth:`Instrumentation.emit`, which
+
+* appends a schema-versioned record to the attached
+  :class:`~repro.obs.trace.TraceEmitter` (if any), and
+* folds the event into the attached
+  :class:`~repro.obs.metrics.MetricsRegistry` (if any) under a fixed
+  metric-name mapping.
+
+It is strictly observation-only: it reads values the simulation already
+computed, draws no randomness and never touches simulation state, so an
+instrumented run's trajectory is tick-for-tick identical to an
+uninstrumented one (a dedicated test asserts exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    REWARD_BUCKETS,
+    TEMPERATURE_BUCKETS_C,
+)
+from repro.obs.trace import TraceEmitter
+
+
+class Instrumentation:
+    """Bundles a metrics registry and a trace emitter behind one hook.
+
+    Parameters
+    ----------
+    registry:
+        Metrics sink; ``None`` disables metric folding.
+    tracer:
+        Trace sink; ``None`` disables event recording.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[TraceEmitter] = None,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+
+    def emit(self, etype: str, t: float, **fields) -> None:
+        """Record one event in the trace and fold it into the metrics."""
+        if self.tracer is not None:
+            self.tracer.emit(etype, t, **fields)
+        if self.registry is not None:
+            self._fold(etype, fields)
+
+    # ------------------------------------------------------------------
+    # Event -> metrics mapping
+    # ------------------------------------------------------------------
+
+    def _fold(self, etype: str, fields: dict) -> None:
+        registry = self.registry
+        if etype == "tick":
+            registry.counter(
+                "repro_eval_samples_total", "evaluation sensor samples recorded"
+            ).inc()
+            histogram = registry.histogram(
+                "repro_core_temp_c",
+                TEMPERATURE_BUCKETS_C,
+                "per-core evaluation temperature samples (degC)",
+            )
+            peak = None
+            for temp in fields["temps_c"]:
+                histogram.observe(temp)
+                peak = temp if peak is None else max(peak, temp)
+            if peak is not None:
+                registry.gauge(
+                    "repro_last_peak_temp_c", "hottest core of the latest sample"
+                ).set(peak)
+        elif etype == "decision":
+            registry.counter(
+                "repro_decisions_total", "learning-agent decision epochs"
+            ).inc()
+            registry.gauge(
+                "repro_agent_alpha", "learning rate after the latest epoch"
+            ).set(fields["alpha"])
+        elif etype == "q_update":
+            registry.counter(
+                "repro_q_updates_total", "Q-table updates applied"
+            ).inc()
+            registry.histogram(
+                "repro_reward", REWARD_BUCKETS, "per-epoch reward values"
+            ).observe(fields["reward"])
+        elif etype == "governor_change":
+            registry.counter(
+                "repro_governor_changes_total", "governor transitions requested"
+            ).inc()
+            if fields["outcome"] != "ok":
+                registry.counter(
+                    "repro_governor_change_failures_total",
+                    "governor transitions that failed or silently no-opped",
+                ).inc()
+        elif etype == "mapping_change":
+            registry.counter(
+                "repro_mapping_changes_total", "affinity changes requested"
+            ).inc()
+            if fields["outcome"] != "ok":
+                registry.counter(
+                    "repro_mapping_change_failures_total",
+                    "affinity changes that failed or silently no-opped",
+                ).inc()
+        elif etype == "variation":
+            registry.counter(
+                f"repro_variation_{fields['kind']}_total",
+                "workload-variation detections by kind",
+            ).inc()
+        elif etype == "fault":
+            registry.counter(
+                "repro_faults_injected_total", "faults injected across all paths"
+            ).inc(fields.get("count", 1))
+        elif etype == "supervisor":
+            registry.counter(
+                "repro_supervisor_interventions_total",
+                "supervisor interventions (fallbacks, retries, emergencies)",
+            ).inc(fields.get("count", 1))
+        elif etype == "app_switch":
+            registry.counter(
+                "repro_app_switches_total", "application starts within the run"
+            ).inc()
+        elif etype == "run_end":
+            registry.counter("repro_runs_total", "completed simulation runs").inc()
+            registry.gauge(
+                "repro_run_time_s", "simulated seconds of the latest run"
+            ).set(fields["total_time_s"])
+            registry.counter(
+                "repro_ticks_total", "simulation ticks across all runs"
+            ).inc(fields["ticks"])

@@ -1,0 +1,201 @@
+"""Run manifests: what exactly produced a result directory.
+
+A :class:`RunManifest` is a small JSON document written alongside every
+traced/metered run, binding the result to
+
+* the **configuration hash** — a SHA-256 over the canonical rendering
+  of the run's job spec (the same canonicalisation the experiment
+  engine's content-addressed cache keys on, so a manifest hash equals
+  the cache identity of the run);
+* the **package version** and, when available, ``git describe`` of the
+  working tree;
+* the **artefact digests** — SHA-256 and size of every file the run
+  wrote (trace, metrics, result), so any later tampering or truncation
+  is detectable.
+
+Manifests are provenance records, not replay inputs: they may carry
+environment facts (git state) without compromising the determinism of
+the traced run itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import repro
+
+#: Version of the manifest document layout.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Filename a run directory's manifest is written under.
+MANIFEST_FILENAME = "manifest.json"
+
+
+class ManifestError(ValueError):
+    """A manifest document is malformed or fails verification."""
+
+
+def config_digest(value) -> str:
+    """SHA-256 over the canonical rendering of a config/spec object.
+
+    Accepts anything :func:`repro.experiments.engine.spec.canonicalise`
+    understands (dataclasses, dicts, tuples, scalars).  Imported lazily
+    so importing :mod:`repro.obs` never drags the experiment engine in.
+    """
+    from repro.experiments.engine.spec import canonicalise
+
+    document = json.dumps(
+        canonicalise(value), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+def file_digest(path: Union[str, Path]) -> Dict[str, Union[str, int]]:
+    """SHA-256 and byte size of one file."""
+    path = Path(path)
+    digest = hashlib.sha256()
+    size = 0
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+            size += len(chunk)
+    return {"sha256": digest.hexdigest(), "bytes": size}
+
+
+def git_describe(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """``git describe --always --dirty`` of the working tree, or None."""
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one run's result directory."""
+
+    config_hash: str
+    package_version: str = field(default_factory=lambda: repro.__version__)
+    git: Optional[str] = None
+    #: Relative filename -> {"sha256": ..., "bytes": ...}.
+    artefacts: Dict[str, Dict[str, Union[str, int]]] = field(default_factory=dict)
+    #: Free-form run description (app, policy, seed, ...).
+    run: Dict[str, Union[str, int, float, bool, None]] = field(default_factory=dict)
+    schema: int = MANIFEST_SCHEMA_VERSION
+
+    def add_artefact(self, path: Union[str, Path], root: Union[str, Path]) -> None:
+        """Digest one produced file, stored under its path relative to
+        the manifest's directory."""
+        path = Path(path)
+        self.artefacts[str(path.relative_to(root))] = file_digest(path)
+
+    def as_dict(self) -> dict:
+        """JSON-ready document."""
+        return {
+            "schema": self.schema,
+            "package_version": self.package_version,
+            "git": self.git,
+            "config_hash": self.config_hash,
+            "artefacts": {
+                name: dict(entry) for name, entry in sorted(self.artefacts.items())
+            },
+            "run": dict(self.run),
+        }
+
+    def write(self, directory: Union[str, Path]) -> Path:
+        """Write ``manifest.json`` into ``directory`` and return its path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / MANIFEST_FILENAME
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def build_manifest(
+    config,
+    run: Optional[dict] = None,
+    repo_dir: Optional[Union[str, Path]] = None,
+) -> RunManifest:
+    """A manifest for one run: config hash + version + git state."""
+    return RunManifest(
+        config_hash=config_digest(config),
+        git=git_describe(repo_dir),
+        run=dict(run) if run else {},
+    )
+
+
+def load_manifest(path: Union[str, Path]) -> dict:
+    """Load and validate one manifest document."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / MANIFEST_FILENAME
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"{path}: not valid JSON: {exc}") from exc
+    validate_manifest(document)
+    return document
+
+
+def validate_manifest(document: dict) -> None:
+    """Raise :class:`ManifestError` unless the document is well-formed."""
+    if not isinstance(document, dict):
+        raise ManifestError("manifest must be a JSON object")
+    if document.get("schema") != MANIFEST_SCHEMA_VERSION:
+        raise ManifestError(
+            f"unsupported manifest schema {document.get('schema')!r}"
+        )
+    for key, types in (
+        ("package_version", str),
+        ("config_hash", str),
+        ("artefacts", dict),
+        ("run", dict),
+    ):
+        if not isinstance(document.get(key), types):
+            raise ManifestError(f"manifest field {key!r} missing or mistyped")
+    if document.get("git") is not None and not isinstance(document["git"], str):
+        raise ManifestError("manifest field 'git' must be a string or null")
+    if len(document["config_hash"]) != 64:
+        raise ManifestError("config_hash must be a hex SHA-256 digest")
+    for name, entry in document["artefacts"].items():
+        if not isinstance(entry, dict):
+            raise ManifestError(f"artefact entry {name!r} must be an object")
+        if not isinstance(entry.get("sha256"), str) or len(entry["sha256"]) != 64:
+            raise ManifestError(f"artefact {name!r} needs a hex sha256")
+        if not isinstance(entry.get("bytes"), int) or entry["bytes"] < 0:
+            raise ManifestError(f"artefact {name!r} needs a non-negative size")
+
+
+def verify_artefacts(document: dict, root: Union[str, Path]) -> None:
+    """Re-digest every artefact listed in a manifest against ``root``.
+
+    Raises
+    ------
+    ManifestError
+        If any listed file is missing or its digest/size drifted.
+    """
+    root = Path(root)
+    for name, entry in document["artefacts"].items():
+        path = root / name
+        if not path.exists():
+            raise ManifestError(f"artefact {name!r} listed but missing")
+        actual = file_digest(path)
+        if actual != entry:
+            raise ManifestError(
+                f"artefact {name!r} drifted: manifest says {entry}, "
+                f"file is {actual}"
+            )

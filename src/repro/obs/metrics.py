@@ -1,0 +1,255 @@
+"""Process-local metrics registry (counters, gauges, histograms).
+
+A :class:`MetricsRegistry` is a deterministic, allocation-light
+collection of named instruments.  It never reads the wall clock and
+never draws randomness, so a metrics dump produced by a replayed
+deterministic simulation is byte-identical to the original run's —
+the property the instrumented-vs-uninstrumented identity tests lean on.
+
+Three instrument kinds mirror the Prometheus data model:
+
+* :class:`Counter` — monotonically non-decreasing totals;
+* :class:`Gauge` — last-written values;
+* :class:`Histogram` — fixed bucket ladders chosen at creation time
+  (cumulative bucket counts, plus ``sum`` and ``count``).
+
+Exporters: :meth:`MetricsRegistry.as_dict` (stable JSON-ready dict) and
+:meth:`MetricsRegistry.render_prometheus` (the Prometheus text
+exposition format, one family per instrument).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Prometheus-compatible metric names.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default ladder for core-temperature histograms (degC upper bounds).
+TEMPERATURE_BUCKETS_C: Tuple[float, ...] = (
+    35.0, 40.0, 45.0, 50.0, 55.0, 60.0, 65.0, 70.0, 75.0, 80.0, 90.0, 100.0
+)
+
+#: Default ladder for per-epoch reward observations.
+REWARD_BUCKETS: Tuple[float, ...] = (
+    -5.0, -2.0, -1.0, -0.5, -0.2, 0.0, 0.2, 0.5, 1.0, 2.0, 5.0
+)
+
+#: Default ladder for job/artefact durations (seconds).
+DURATION_BUCKETS_S: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """A monotonically non-decreasing total."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0.0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can be set to anything at any time."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        if not math.isfinite(value):
+            raise ValueError(f"gauge {self.name} must be finite, got {value}")
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-ladder histogram (cumulative buckets, sum and count).
+
+    Parameters
+    ----------
+    name / help:
+        Metric identity.
+    buckets:
+        Strictly increasing finite upper bounds; an implicit ``+Inf``
+        bucket is always appended.
+    """
+
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        for low, high in zip(bounds, bounds[1:]):
+            if not low < high:
+                raise ValueError(
+                    f"histogram {name} buckets must strictly increase: "
+                    f"{low} >= {high}"
+                )
+        if not all(math.isfinite(b) for b in bounds):
+            raise ValueError(f"histogram {name} bucket bounds must be finite")
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if not math.isfinite(value):
+            raise ValueError(f"histogram {self.name} observation must be finite")
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative counts per bound (Prometheus ``le`` semantics)."""
+        out: List[int] = []
+        running = 0
+        for count in self.bucket_counts:
+            running += count
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Re-requesting an existing name returns the same instrument; asking
+    for it under a different kind (or different histogram ladder) is an
+    error — silent shadowing would split one logical series in two.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+
+    def _get_or_create(self, kind: type, name: str, *args, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).kind}, not {kind.kind}"
+                )
+            return existing
+        instrument = kind(name, *args, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> Histogram:
+        """Get or create a histogram; the ladder must match on reuse."""
+        instrument = self._get_or_create(Histogram, name, buckets, help)
+        if instrument.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with a different "
+                f"bucket ladder"
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        """Registered names, sorted."""
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> Dict[str, dict]:
+        """Stable, JSON-serialisable dump of every instrument."""
+        out: Dict[str, dict] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            entry: dict = {"kind": instrument.kind, "help": instrument.help}
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+                entry["bucket_counts"] = list(instrument.bucket_counts)
+                entry["sum"] = instrument.sum
+                entry["count"] = instrument.count
+            else:
+                entry["value"] = instrument.value
+            out[name] = entry
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The :meth:`as_dict` dump rendered as JSON."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        lines: List[str] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative_counts()
+                for bound, count in zip(instrument.buckets, cumulative):
+                    lines.append(f'{name}_bucket{{le="{bound:g}"}} {count}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+                lines.append(f"{name}_sum {instrument.sum:g}")
+                lines.append(f"{name}_count {instrument.count}")
+            else:
+                lines.append(f"{name} {instrument.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

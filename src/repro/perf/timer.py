@@ -10,6 +10,7 @@ per phase, so instrumentation is free unless asked for.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Dict
 
@@ -33,14 +34,44 @@ class SectionTimer:
 
         Returns the current timestamp so consecutive phases chain:
         ``mark = timer.lap("schedule", mark)``.
+
+        Raises
+        ------
+        ValueError
+            On an empty section name, or a ``since`` mark that is not a
+            finite past timestamp.  A mark from the future means the
+            call sites are nested or out of order — charging the
+            negative duration would silently corrupt the totals.
         """
         now = time.perf_counter()
+        if not section:
+            raise ValueError("section name must be non-empty")
+        elapsed = now - since
+        if not math.isfinite(elapsed) or elapsed < 0.0:
+            raise ValueError(
+                f"lap({section!r}) got a mark {since!r} that is not a finite "
+                "past timestamp; laps must chain from now()/a previous lap()"
+            )
         totals = self._totals
-        totals[section] = totals.get(section, 0.0) + (now - since)
+        totals[section] = totals.get(section, 0.0) + elapsed
         return now
 
     def add(self, section: str, seconds: float) -> None:
-        """Charge an externally measured duration to ``section``."""
+        """Charge an externally measured duration to ``section``.
+
+        Raises
+        ------
+        ValueError
+            On an empty section name or a duration that is negative,
+            NaN or infinite.
+        """
+        if not section:
+            raise ValueError("section name must be non-empty")
+        if not math.isfinite(seconds) or seconds < 0.0:
+            raise ValueError(
+                f"add({section!r}) needs a finite non-negative duration, "
+                f"got {seconds!r}"
+            )
         totals = self._totals
         totals[section] = totals.get(section, 0.0) + seconds
 

@@ -22,9 +22,12 @@ system interacts with Linux:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.instrument import Instrumentation
 
 from repro.config import (
     FaultConfig,
@@ -32,7 +35,7 @@ from repro.config import (
     ReliabilityConfig,
     SupervisorConfig,
 )
-from repro.faults.injector import OUTCOME_FAIL, OUTCOME_NOOP, FaultInjector
+from repro.faults.injector import OUTCOME_FAIL, OUTCOME_OK, FaultInjector
 from repro.faults.supervisor import ActuationSupervisor, SensorSupervisor
 from repro.perf.timer import SectionTimer
 from repro.power.energy import EnergyMeter
@@ -58,6 +61,15 @@ KNOWN_GOVERNORS = (
     "powersave",
     "userspace",
 )
+
+
+def _mapping_masks(mapping: Optional[AffinityMapping]) -> Optional[list]:
+    """JSON-ready rendering of a mapping for mapping_change events."""
+    if mapping is None:
+        return None
+    return [
+        sorted(mask) if mask is not None else None for mask in mapping.masks
+    ]
 
 
 class ThermalManagerBase:
@@ -173,6 +185,11 @@ class Simulation:
         sensor readings are sanitised before they are returned and
         governor/mapping requests are verified, retried and backed by a
         thermal-emergency safe state.
+    instrumentation:
+        Optional observation-only :class:`repro.obs.Instrumentation`
+        (metrics registry and/or structured trace emitter).  Attaching
+        it never changes the run's trajectory: it only reads values the
+        engine already computed and draws no randomness.
     """
 
     def __init__(
@@ -189,6 +206,7 @@ class Simulation:
         warm_start: bool = True,
         faults: Optional[FaultConfig] = None,
         supervisor: Optional[SupervisorConfig] = None,
+        instrumentation: "Optional[Instrumentation]" = None,
     ) -> None:
         if not applications:
             raise ValueError("need at least one application")
@@ -216,6 +234,7 @@ class Simulation:
         )
         self.eval_sample_period_s = eval_sample_period_s
         self.max_time_s = max_time_s
+        self._seed = seed
         self._dt = self.platform.dt  # PlatformConfig is frozen
         self.now = 0.0
         self._app_index = -1
@@ -245,6 +264,9 @@ class Simulation:
                 supervisor, self._sensor_supervisor
             )
             self._next_watchdog_s = supervisor.watchdog_period_s
+        self.obs: "Optional[Instrumentation]" = None
+        if instrumentation is not None:
+            self.attach_instrumentation(instrumentation)
         if warm_start:
             self.chip.warm_start_idle()
 
@@ -342,10 +364,19 @@ class Simulation:
         """
         if self._fault_injector is not None:
             outcome = self._fault_injector.governor_outcome()
-            if outcome == OUTCOME_FAIL:
-                return False
-            if outcome == OUTCOME_NOOP:
-                return True
+            if outcome != OUTCOME_OK:
+                if self.obs is not None:
+                    self.obs.emit(
+                        "governor_change",
+                        self.now,
+                        governor=name,
+                        frequency_hz=userspace_frequency_hz,
+                        outcome=outcome,
+                    )
+                    self.obs.emit(
+                        "fault", self.now, path="governor", kind=outcome, count=1
+                    )
+                return outcome != OUTCOME_FAIL
         current = self._governor
         self._governor = make_governor(
             name, self.chip.ladder, self.platform.num_cores, userspace_frequency_hz
@@ -354,18 +385,41 @@ class Simulation:
         # governor switch does not teleport the clock.
         if self._governor.adaptive:
             self._governor.inherit_frequencies(current.frequencies())
+        if self.obs is not None:
+            self.obs.emit(
+                "governor_change",
+                self.now,
+                governor=name,
+                frequency_hz=userspace_frequency_hz,
+                outcome=OUTCOME_OK,
+            )
         return True
 
     def _actuate_mapping(self, mapping: Optional[AffinityMapping]) -> bool:
         """Perform one affinity change through the faultable path."""
         if self._fault_injector is not None:
             outcome = self._fault_injector.mapping_outcome()
-            if outcome == OUTCOME_FAIL:
-                return False
-            if outcome == OUTCOME_NOOP:
-                return True
+            if outcome != OUTCOME_OK:
+                if self.obs is not None:
+                    self.obs.emit(
+                        "mapping_change",
+                        self.now,
+                        mapping=_mapping_masks(mapping),
+                        outcome=outcome,
+                    )
+                    self.obs.emit(
+                        "fault", self.now, path="mapping", kind=outcome, count=1
+                    )
+                return outcome != OUTCOME_FAIL
         self._mapping = mapping
         self.scheduler.set_mapping(mapping)
+        if self.obs is not None:
+            self.obs.emit(
+                "mapping_change",
+                self.now,
+                mapping=_mapping_masks(mapping),
+                outcome=OUTCOME_OK,
+            )
         return True
 
     def governor_in_force(
@@ -431,6 +485,14 @@ class Simulation:
         self._app_start_s = self.now
         self._app_energy_snapshot = self.chip.energy.snapshot()
         self._app_switched_flag = True
+        if self.obs is not None:
+            self.obs.emit(
+                "app_switch",
+                self.now,
+                index=self._app_index,
+                app=app.spec.name,
+                dataset=app.spec.dataset,
+            )
         if self.manager is not None and self._app_index > 0:
             self.manager.on_app_switch(self, app)
         return True
@@ -449,6 +511,20 @@ class Simulation:
                 static_energy_j=consumed.static_j,
             )
         )
+
+    def attach_instrumentation(self, obs: "Optional[Instrumentation]") -> None:
+        """Attach (or detach, with None) the observability layer.
+
+        Propagates the hook to the fault injector and the supervisors
+        so their events carry through the same trace/metrics sinks.
+        The hook is observation-only; with none attached each call
+        site pays one ``is not None`` check.
+        """
+        self.obs = obs
+        if self._fault_injector is not None:
+            self._fault_injector.obs = obs
+        if self._sensor_supervisor is not None:
+            self._sensor_supervisor.obs = obs
 
     def attach_timer(self, timer: Optional[SectionTimer]) -> None:
         """Attach (or detach, with None) per-phase tick-loop accounting.
@@ -485,8 +561,13 @@ class Simulation:
         if timer is not None:
             mark = timer.now()
         if self.now + 1e-9 >= self._next_eval_s:
-            self._profile.append(self._eval_sensors.read(self.chip.core_temps_c()))
+            reading = self._eval_sensors.read(self.chip.core_temps_c())
+            self._profile.append(reading)
             self._next_eval_s += self.eval_sample_period_s
+            if self.obs is not None:
+                self.obs.emit(
+                    "tick", self.now, temps_c=[float(t) for t in reading]
+                )
         if timer is not None:
             mark = timer.lap("sensors", mark)
 
@@ -526,6 +607,15 @@ class Simulation:
         self._eval_sensors.reset()
         if self._sensor_supervisor is not None:
             self._sensor_supervisor.reset()
+        if self.obs is not None:
+            self.obs.emit(
+                "run_start",
+                self.now,
+                num_cores=self.platform.num_cores,
+                governor=self._governor.name,
+                apps=[app.spec.name for app in self.applications],
+                seed=self._seed,
+            )
         if self.manager is not None:
             self.manager.attach(self)
         self._start_next_app()
@@ -551,6 +641,14 @@ class Simulation:
             supervisor_stats.update(self._sensor_supervisor.stats())
         if self._actuation_supervisor is not None:
             supervisor_stats.update(self._actuation_supervisor.stats(self.now))
+        if self.obs is not None:
+            self.obs.emit(
+                "run_end",
+                self.now,
+                total_time_s=self.now,
+                completed=completed,
+                ticks=int(round(self.now / self._dt)),
+            )
         return SimulationResult(
             profile=self._profile,
             energy=self.chip.energy,

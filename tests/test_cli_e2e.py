@@ -1,0 +1,199 @@
+"""End-to-end subprocess tests of the ``repro`` command-line interface.
+
+Every test here launches ``python -m repro`` exactly as a user would,
+in a temporary working directory, and asserts on exit codes and the
+artefacts left on disk — exercising argument parsing, the observability
+wiring and the manifest/trace validation path that unit tests cannot
+reach.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+
+def _repro(args, cwd, env_extra=None, timeout=600):
+    """Run ``python -m repro <args>`` in ``cwd`` and capture output."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=str(cwd),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+RUN_ARGS = [
+    "run", "mpeg_dec", "--policy", "proposed", "--scale", "0.02",
+    "--trace", "--metrics",
+]
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced+metered ``repro run`` shared by the assertions below."""
+    workdir = tmp_path_factory.mktemp("traced_run")
+    proc = _repro(RUN_ARGS, cwd=workdir)
+    assert proc.returncode == 0, proc.stderr
+    return workdir, proc
+
+
+class TestReproRunObservability:
+    def test_writes_all_observability_artefacts(self, traced_run):
+        workdir, _ = traced_run
+        obs = workdir / "obs"
+        for name in ("trace.jsonl", "metrics.json", "metrics.prom",
+                     "result.json", "manifest.json"):
+            path = obs / name
+            assert path.is_file(), f"missing artefact {name}"
+            assert path.stat().st_size > 0, f"empty artefact {name}"
+
+    def test_every_trace_line_validates(self, traced_run):
+        from repro.obs.trace import read_events, validate_event
+
+        workdir, _ = traced_run
+        events = list(read_events(workdir / "obs" / "trace.jsonl"))
+        assert events
+        for event in events:
+            validate_event(event)
+        types = {e["type"] for e in events}
+        assert {"run_start", "tick", "decision", "run_end"} <= types
+
+    def test_manifest_validates_and_artefacts_verify(self, traced_run):
+        from repro.obs.manifest import load_manifest, verify_artefacts
+
+        workdir, _ = traced_run
+        obs = workdir / "obs"
+        document = load_manifest(obs)
+        verify_artefacts(document, obs)
+        assert set(document["artefacts"]) >= {
+            "trace.jsonl", "metrics.json", "metrics.prom", "result.json"
+        }
+        assert document["run"]["app"] == "mpeg_dec"
+
+    def test_result_json_embeds_trace_headlines(self, traced_run):
+        workdir, _ = traced_run
+        result = json.loads((workdir / "obs" / "result.json").read_text())
+        assert result["run"]["app"] == "mpeg_dec"
+        assert result["summary"]["average_temp_c"] > 0.0
+        trace = result["trace"]
+        assert trace["total_events"] > 0
+        assert trace["decisions"] >= 1
+        assert trace["avg_temp_c"] > 0.0
+
+    def test_metrics_exports_agree(self, traced_run):
+        workdir, _ = traced_run
+        obs = workdir / "obs"
+        metrics = json.loads((obs / "metrics.json").read_text())
+        prom = (obs / "metrics.prom").read_text()
+        assert metrics["repro_runs_total"]["value"] == 1.0
+        assert metrics["repro_eval_samples_total"]["value"] > 0
+        assert "# TYPE repro_runs_total counter" in prom
+        assert "repro_core_temp_c_bucket" in prom
+
+    def test_trace_summarize_matches_result(self, traced_run):
+        workdir, _ = traced_run
+        proc = _repro(
+            ["trace", "summarize", "obs/trace.jsonl",
+             "--check-result", "obs/result.json"],
+            cwd=workdir,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "trace matches" in proc.stdout
+        assert "avg temperature" in proc.stdout
+
+    def test_trace_summarize_detects_tampering(self, traced_run, tmp_path):
+        workdir, _ = traced_run
+        source = (workdir / "obs" / "trace.jsonl").read_text()
+        lines = source.splitlines()
+        # Drop every tick event: the recomputed headline statistics can
+        # no longer match the recorded result document.
+        kept = [line for line in lines if '"type": "tick"' not in line]
+        assert len(kept) < len(lines)
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text("\n".join(kept) + "\n")
+        result_path = workdir / "obs" / "result.json"
+        proc = _repro(
+            ["trace", "summarize", str(tampered),
+             "--check-result", str(result_path)],
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 1
+        assert "MISMATCH" in proc.stdout
+
+    def test_trace_summarize_rejects_invalid_events(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": 1, "seq": 0, "type": "nonsense", "t": 0.0}\n')
+        proc = _repro(["trace", "summarize", str(bad)], cwd=tmp_path)
+        assert proc.returncode == 1
+
+    def test_plain_run_writes_no_observability(self, tmp_path):
+        proc = _repro(
+            ["run", "mpeg_dec", "--policy", "proposed", "--scale", "0.02"],
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert not (tmp_path / "obs").exists()
+
+
+class TestReproAllParallel:
+    def test_all_jobs2_with_metrics(self, tmp_path):
+        metrics_path = tmp_path / "sweep_metrics.json"
+        proc = _repro(
+            ["all", "--jobs", "2", "--scale", "0.12", "--only", "fig1",
+             "--metrics", str(metrics_path)],
+            cwd=tmp_path,
+            env_extra={"REPRO_CACHE_DIR": str(tmp_path / "cache")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert metrics_path.is_file()
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["repro_artefacts_regenerated_total"]["value"] == 1.0
+        assert metrics["repro_engine_jobs_submitted_total"]["value"] > 0
+        assert "metrics written to" in proc.stdout
+
+    def test_all_rejects_unknown_artefact(self, tmp_path):
+        proc = _repro(
+            ["all", "--only", "not_an_artefact", "--scale", "0.12"],
+            cwd=tmp_path,
+            env_extra={"REPRO_CACHE_DIR": str(tmp_path / "cache")},
+        )
+        assert proc.returncode != 0
+
+
+class TestReproBench:
+    def test_bench_quick(self, tmp_path):
+        output = tmp_path / "bench.json"
+        proc = _repro(
+            ["bench", "--quick", "--ticks", "200", "--repeats", "1",
+             "--output", str(output)],
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(output.read_text())
+        assert report["mode"] == "quick"
+        assert report["workloads"]
+        for entry in report["workloads"].values():
+            assert entry["ticks_per_s"] > 0
+
+
+class TestCliErrors:
+    def test_unknown_app_exits_nonzero(self, tmp_path):
+        proc = _repro(["run", "not_an_app"], cwd=tmp_path)
+        assert proc.returncode != 0
+
+    def test_trace_requires_subcommand(self, tmp_path):
+        proc = _repro(["trace"], cwd=tmp_path)
+        assert proc.returncode != 0

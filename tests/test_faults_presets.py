@@ -1,0 +1,86 @@
+"""Unit tests for the named fault scenarios (`repro.faults.presets`)."""
+
+import pytest
+
+from repro.config import FaultConfig, SupervisorConfig
+from repro.faults.presets import (
+    FAULT_MODES,
+    actuation_fault_config,
+    combined_fault_config,
+    default_supervisor_config,
+    fault_config_for,
+    sensor_fault_config,
+)
+
+
+class TestFaultConfigFor:
+    def test_none_maps_to_no_fault_model(self):
+        # "none" must disable faults entirely so fault-free runs stay
+        # bit-identical to a simulation without the robustness layer.
+        assert fault_config_for("none") is None
+
+    def test_mode_mapping(self):
+        assert fault_config_for("sensor") == sensor_fault_config()
+        assert fault_config_for("actuation") == actuation_fault_config()
+        assert fault_config_for("both") == combined_fault_config()
+
+    def test_every_advertised_mode_resolves(self):
+        for mode in FAULT_MODES:
+            config = fault_config_for(mode)
+            assert config is None or isinstance(config, FaultConfig)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            fault_config_for("gamma_rays")
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            fault_config_for("")
+
+
+class TestPresetContents:
+    def test_sensor_preset_touches_only_the_sensor_path(self):
+        config = sensor_fault_config()
+        assert config.enabled
+        assert config.dropout_prob > 0.0
+        assert config.spike_prob > 0.0
+        assert config.stuck_prob > 0.0
+        assert config.governor_fail_prob == 0.0
+        assert config.governor_noop_prob == 0.0
+        assert config.mapping_fail_prob == 0.0
+        assert config.mapping_noop_prob == 0.0
+
+    def test_actuation_preset_touches_only_the_actuation_path(self):
+        config = actuation_fault_config()
+        assert config.enabled
+        assert config.governor_fail_prob > 0.0
+        assert config.mapping_fail_prob > 0.0
+        assert config.dropout_prob == 0.0
+        assert config.spike_prob == 0.0
+        assert config.stuck_prob == 0.0
+
+    def test_combined_preset_is_the_union(self):
+        sensor = sensor_fault_config()
+        actuation = actuation_fault_config()
+        both = combined_fault_config()
+        assert both.enabled
+        assert both.dropout_prob == sensor.dropout_prob
+        assert both.spike_prob == sensor.spike_prob
+        assert both.spike_magnitude_c == sensor.spike_magnitude_c
+        assert both.stuck_prob == sensor.stuck_prob
+        assert both.stuck_duration_s == sensor.stuck_duration_s
+        assert both.offset_c == sensor.offset_c
+        assert both.governor_fail_prob == actuation.governor_fail_prob
+        assert both.governor_noop_prob == actuation.governor_noop_prob
+        assert both.mapping_fail_prob == actuation.mapping_fail_prob
+        assert both.mapping_noop_prob == actuation.mapping_noop_prob
+
+    def test_presets_are_fresh_instances(self):
+        # Callers may mutate/replace fields; presets must not share state.
+        assert sensor_fault_config() is not sensor_fault_config()
+        assert default_supervisor_config() is not default_supervisor_config()
+
+
+class TestDefaultSupervisorConfig:
+    def test_enabled(self):
+        config = default_supervisor_config()
+        assert isinstance(config, SupervisorConfig)
+        assert config.enabled

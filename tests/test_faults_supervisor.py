@@ -146,6 +146,7 @@ class FakeSim:
 
     def __init__(self, failing=True):
         self.now = 0.0
+        self.obs = None
         self.failing = failing
         self.governor_calls = 0
         self.mapping_calls = 0

@@ -23,6 +23,7 @@ import pytest
 
 from repro.experiments.engine import ExperimentEngine, ResultCache
 from repro.experiments.engine.sweep import ARTEFACTS
+from repro.obs.metrics import MetricsRegistry
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
@@ -59,9 +60,16 @@ def test_every_artefact_has_a_golden_case():
 
 @pytest.fixture(scope="module")
 def engine(tmp_path_factory):
-    """One shared engine so overlapping grids resolve from the cache."""
+    """One shared engine so overlapping grids resolve from the cache.
+
+    A metrics registry is attached so the goldens are regenerated with
+    observability enabled — the golden comparison itself then doubles as
+    the proof that metric collection never perturbs the outputs.
+    """
     root = tmp_path_factory.mktemp("golden-cache")
-    return ExperimentEngine(jobs=1, cache=ResultCache(root=root))
+    return ExperimentEngine(
+        jobs=1, cache=ResultCache(root=root), metrics=MetricsRegistry()
+    )
 
 
 @pytest.mark.parametrize("name", list(CASES), ids=list(CASES))

@@ -1,0 +1,141 @@
+"""Observability must be observation-only.
+
+The acceptance contract of the obs layer: attaching an
+:class:`~repro.obs.instrument.Instrumentation` to a run changes
+*nothing* about the simulated trajectory — every reported statistic,
+the tick-for-tick thermal profile, the fault and supervisor counters
+are all byte-identical to the uninstrumented run.  These tests run the
+same workload twice (with and without instrumentation) and demand
+exact equality, no tolerances.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_workload
+from repro.faults.presets import (
+    combined_fault_config,
+    default_supervisor_config,
+)
+from repro.obs.instrument import Instrumentation
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEmitter, summarize_events, validate_event
+
+SCALE = 0.02  # tiny but long enough to cross several decision epochs
+
+
+def _run(instrumentation=None, faults=None, supervisor=None):
+    return run_workload(
+        "mpeg_dec",
+        policy="proposed",
+        seed=7,
+        iteration_scale=SCALE,
+        faults=faults,
+        supervisor=supervisor,
+        instrumentation=instrumentation,
+    )
+
+
+def _assert_identical(plain, instrumented):
+    for field in dataclasses.fields(plain):
+        if field.name == "profile":
+            continue
+        assert getattr(plain, field.name) == getattr(instrumented, field.name), (
+            f"field {field.name} drifted under instrumentation"
+        )
+    assert plain.profile is not None and instrumented.profile is not None
+    assert len(plain.profile) == len(instrumented.profile)
+    assert np.array_equal(plain.profile.as_array(), instrumented.profile.as_array())
+
+
+class TestInstrumentedTrajectoryIdentity:
+    def test_plain_run_identical(self):
+        plain = _run()
+        obs = Instrumentation(registry=MetricsRegistry(), tracer=TraceEmitter())
+        instrumented = _run(instrumentation=obs)
+        _assert_identical(plain, instrumented)
+        assert obs.tracer.events, "instrumented run emitted no events"
+
+    def test_faulted_supervised_run_identical(self):
+        faults = combined_fault_config()
+        supervisor = default_supervisor_config()
+        plain = _run(faults=faults, supervisor=supervisor)
+        obs = Instrumentation(registry=MetricsRegistry(), tracer=TraceEmitter())
+        instrumented = _run(
+            instrumentation=obs, faults=faults, supervisor=supervisor
+        )
+        _assert_identical(plain, instrumented)
+        # The faulty run must actually exercise the fault/supervisor
+        # emit sites for the identity claim to mean anything.
+        types = {e["type"] for e in obs.tracer.events}
+        assert "fault" in types
+        assert "supervisor" in types
+
+    def test_rerun_with_instrumentation_is_deterministic(self):
+        obs_a = Instrumentation(registry=MetricsRegistry(), tracer=TraceEmitter())
+        obs_b = Instrumentation(registry=MetricsRegistry(), tracer=TraceEmitter())
+        _run(instrumentation=obs_a)
+        _run(instrumentation=obs_b)
+        assert obs_a.tracer.events == obs_b.tracer.events
+        assert obs_a.registry.as_dict() == obs_b.registry.as_dict()
+
+
+class TestEmittedTraceContract:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        obs = Instrumentation(registry=MetricsRegistry(), tracer=TraceEmitter())
+        summary = _run(
+            instrumentation=obs,
+            faults=combined_fault_config(),
+            supervisor=default_supervisor_config(),
+        )
+        return obs, summary
+
+    def test_every_event_validates(self, traced):
+        obs, _ = traced
+        for event in obs.tracer.events:
+            validate_event(event)
+
+    def test_sequence_numbers_monotone(self, traced):
+        obs, _ = traced
+        assert [e["seq"] for e in obs.tracer.events] == list(
+            range(len(obs.tracer.events))
+        )
+
+    def test_core_event_types_present(self, traced):
+        obs, _ = traced
+        types = {e["type"] for e in obs.tracer.events}
+        for required in ("run_start", "tick", "decision", "q_update",
+                         "governor_change", "app_switch", "run_end"):
+            assert required in types, f"no {required} event in traced run"
+
+    def test_trace_headlines_match_run_summary(self, traced):
+        # The tick events replay the eval-sensor profile sample-for-
+        # sample; the run summary covers only the measurement window, so
+        # that window must appear as a contiguous slice of the trace and
+        # re-summarising exactly it reproduces the summary's headline
+        # temperatures.
+        obs, summary = traced
+        tick_events = [e for e in obs.tracer.events if e["type"] == "tick"]
+        ticks = np.array([e["temps_c"] for e in tick_events])
+        window = summary.profile.as_array()
+        length = len(window)
+        offsets = [
+            k
+            for k in range(len(ticks) - length + 1)
+            if np.array_equal(ticks[k : k + length], window)
+        ]
+        assert offsets, "measurement-window profile absent from tick events"
+        windowed = summarize_events(tick_events[offsets[0] : offsets[0] + length])
+        assert windowed.avg_temp_c == pytest.approx(summary.average_temp_c)
+        assert windowed.peak_temp_c == pytest.approx(summary.peak_temp_c)
+
+    def test_metrics_agree_with_trace(self, traced):
+        obs, _ = traced
+        ticks = sum(1 for e in obs.tracer.events if e["type"] == "tick")
+        decisions = sum(1 for e in obs.tracer.events if e["type"] == "decision")
+        assert obs.registry.get("repro_eval_samples_total").value == ticks
+        assert obs.registry.get("repro_decisions_total").value == decisions
+        assert obs.registry.get("repro_runs_total").value == 1

@@ -1,0 +1,163 @@
+"""Unit tests for the metrics registry (`repro.obs.metrics`)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REWARD_BUCKETS,
+    TEMPERATURE_BUCKETS_C,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("repro_things_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("repro_things_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1.0)
+        assert c.value == 0.0
+
+    def test_rejects_invalid_name(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("bad name with spaces")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("0starts_with_digit")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("repro_level")
+        g.set(4.0)
+        assert g.value == 4.0
+        g.inc(-1.5)
+        assert g.value == 2.5
+
+    def test_set_rejects_non_finite(self):
+        g = Gauge("repro_level")
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="must be finite"):
+                g.set(bad)
+
+
+class TestHistogram:
+    def test_bucketing_boundaries_inclusive(self):
+        h = Histogram("repro_h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 100.0):
+            h.observe(value)
+        # le=1: 0.5, 1.0 | le=2: 1.5, 2.0 | le=5: 4.9, 5.0 | +Inf: 100
+        assert h.bucket_counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 100.0)
+
+    def test_cumulative_counts_prometheus_semantics(self):
+        h = Histogram("repro_h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0, 3.0):
+            h.observe(value)
+        assert h.cumulative_counts() == [1, 2, 4]
+
+    def test_rejects_non_finite_observation(self):
+        h = Histogram("repro_h", buckets=(1.0,))
+        with pytest.raises(ValueError, match="must be finite"):
+            h.observe(float("nan"))
+
+    def test_rejects_bad_ladders(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("repro_h", buckets=())
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("repro_h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("repro_h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("repro_h", buckets=(1.0, float("inf")))
+
+    def test_default_ladders_are_valid(self):
+        for ladder in (TEMPERATURE_BUCKETS_C, REWARD_BUCKETS, DURATION_BUCKETS_S):
+            h = Histogram("repro_h", buckets=ladder)
+            assert h.buckets == tuple(float(b) for b in ladder)
+            assert all(a < b for a, b in zip(ladder, ladder[1:]))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        c1 = r.counter("repro_ticks_total", "ticks")
+        c2 = r.counter("repro_ticks_total")
+        assert c1 is c2
+        c1.inc()
+        assert r.get("repro_ticks_total").value == 1.0
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("repro_x")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("repro_x")
+        with pytest.raises(ValueError, match="already registered"):
+            r.histogram("repro_x", buckets=(1.0,))
+
+    def test_histogram_ladder_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.histogram("repro_h", buckets=(1.0, 2.0))
+        r.histogram("repro_h", buckets=(1.0, 2.0))  # identical ladder: fine
+        with pytest.raises(ValueError, match="different"):
+            r.histogram("repro_h", buckets=(1.0, 3.0))
+
+    def test_names_sorted_and_len(self):
+        r = MetricsRegistry()
+        r.gauge("repro_z")
+        r.counter("repro_a")
+        assert r.names() == ["repro_a", "repro_z"]
+        assert len(r) == 2
+        assert r.get("missing") is None
+
+    def test_as_dict_and_json_round_trip(self):
+        r = MetricsRegistry()
+        r.counter("repro_c", "help c").inc(3)
+        r.gauge("repro_g").set(-1.5)
+        h = r.histogram("repro_h", buckets=(1.0, 2.0), help="help h")
+        h.observe(0.5)
+        h.observe(9.0)
+        dump = json.loads(r.to_json())
+        assert dump["repro_c"] == {"kind": "counter", "help": "help c", "value": 3.0}
+        assert dump["repro_g"]["value"] == -1.5
+        assert dump["repro_h"]["buckets"] == [1.0, 2.0]
+        assert dump["repro_h"]["bucket_counts"] == [1, 0, 1]
+        assert dump["repro_h"]["count"] == 2
+        assert dump["repro_h"]["sum"] == pytest.approx(9.5)
+
+    def test_prometheus_rendering(self):
+        r = MetricsRegistry()
+        r.counter("repro_c", "a counter").inc(2)
+        r.gauge("repro_g").set(1.5)
+        h = r.histogram("repro_h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = r.render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP repro_c a counter" in lines
+        assert "# TYPE repro_c counter" in lines
+        assert "repro_c 2" in lines
+        assert "# TYPE repro_g gauge" in lines
+        assert "repro_g 1.5" in lines
+        assert "# TYPE repro_h histogram" in lines
+        assert 'repro_h_bucket{le="1"} 1' in lines
+        assert 'repro_h_bucket{le="2"} 1' in lines
+        assert 'repro_h_bucket{le="+Inf"} 2' in lines
+        assert "repro_h_sum 5.5" in lines
+        assert "repro_h_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert MetricsRegistry().as_dict() == {}

@@ -1,0 +1,305 @@
+"""Unit tests for JSONL tracing and run manifests (`repro.obs`)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    ManifestError,
+    RunManifest,
+    build_manifest,
+    config_digest,
+    file_digest,
+    load_manifest,
+    validate_manifest,
+    verify_artefacts,
+)
+from repro.obs.trace import (
+    EVENT_FIELDS,
+    SCHEMA_VERSION,
+    TraceEmitter,
+    TraceValidationError,
+    format_summary,
+    read_events,
+    summarize_events,
+    validate_event,
+    write_events,
+)
+from repro.reliability.rainflow import count_cycles, total_cycle_count
+
+
+def _event(etype="tick", **overrides):
+    """A minimal valid event of the given type."""
+    payloads = {
+        "run_start": {"num_cores": 4, "governor": "ondemand", "apps": ["mpeg_dec"], "seed": 1},
+        "tick": {"temps_c": [41.0, 42.0]},
+        "decision": {
+            "epoch": 3, "state": 4, "action": 2, "action_label": "f- m0",
+            "phase": "exploration", "alpha": 0.7,
+        },
+        "q_update": {"state": 4, "action": 2, "reward": -0.2, "alpha": 0.7, "q_value": 1.5},
+        "governor_change": {"governor": "userspace", "frequency_hz": 1.2e9, "outcome": "ok"},
+        "mapping_change": {"mapping": [[0, 1], None], "outcome": "ok"},
+        "variation": {
+            "kind": "intra", "delta_stress_ma": 0.1, "delta_aging_ma": 0.2, "applied": True,
+        },
+        "fault": {"path": "sensor", "kind": "stuck", "count": 2},
+        "supervisor": {"intervention": "sensor_median_fallback", "count": 2},
+        "app_switch": {"index": 0, "app": "mpeg_dec", "dataset": "default"},
+        "run_end": {"total_time_s": 60.0, "completed": True, "ticks": 6000},
+    }
+    event = {"schema": SCHEMA_VERSION, "seq": 0, "type": etype, "t": 0.0}
+    event.update(payloads[etype])
+    event.update(overrides)
+    return event
+
+
+class TestValidateEvent:
+    @pytest.mark.parametrize("etype", sorted(EVENT_FIELDS))
+    def test_every_event_type_has_a_valid_example(self, etype):
+        validate_event(_event(etype))
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(TraceValidationError, match="must be an object"):
+            validate_event([1, 2, 3])
+
+    @pytest.mark.parametrize("key", ["schema", "seq", "type", "t"])
+    def test_rejects_missing_envelope_field(self, key):
+        event = _event()
+        del event[key]
+        with pytest.raises(TraceValidationError, match="envelope"):
+            validate_event(event)
+
+    def test_rejects_wrong_schema_version(self):
+        with pytest.raises(TraceValidationError, match="schema version"):
+            validate_event(_event(schema=99))
+
+    def test_rejects_bad_seq(self):
+        with pytest.raises(TraceValidationError, match="seq"):
+            validate_event(_event(seq=-1))
+        with pytest.raises(TraceValidationError, match="seq"):
+            validate_event(_event(seq="0"))
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TraceValidationError, match="unknown event type"):
+            validate_event(_event(type="made_up"))
+
+    def test_rejects_non_numeric_time(self):
+        with pytest.raises(TraceValidationError, match="t must be a number"):
+            validate_event(_event(t="now"))
+        with pytest.raises(TraceValidationError, match="t must be a number"):
+            validate_event(_event(t=True))
+
+    def test_rejects_missing_payload_field(self):
+        event = _event("decision")
+        del event["alpha"]
+        with pytest.raises(TraceValidationError, match="missing field 'alpha'"):
+            validate_event(event)
+
+    def test_rejects_undeclared_extra_field(self):
+        with pytest.raises(TraceValidationError, match="undeclared"):
+            validate_event(_event("tick", extra_field=1))
+
+    def test_rejects_bool_where_number_expected(self):
+        # bool is an int subclass in Python; JSON says they are distinct.
+        with pytest.raises(TraceValidationError, match="got bool"):
+            validate_event(_event("decision", alpha=True))
+
+    def test_rejects_wrong_payload_type(self):
+        with pytest.raises(TraceValidationError, match="temps_c"):
+            validate_event(_event("tick", temps_c="hot"))
+
+    @pytest.mark.parametrize("etype", ["governor_change", "mapping_change"])
+    def test_rejects_unknown_actuation_outcome(self, etype):
+        with pytest.raises(TraceValidationError, match="outcome"):
+            validate_event(_event(etype, outcome="exploded"))
+
+    def test_nullable_fields_accept_null(self):
+        validate_event(_event("governor_change", frequency_hz=None))
+        validate_event(_event("mapping_change", mapping=None))
+
+
+class TestTraceEmitter:
+    def test_seq_monotone_and_events_retained(self):
+        emitter = TraceEmitter()
+        emitter.emit("tick", 0.01, temps_c=[40.0])
+        emitter.emit("tick", 0.02, temps_c=[41.0])
+        assert emitter.seq == 2
+        assert [e["seq"] for e in emitter.events] == [0, 1]
+        for event in emitter.events:
+            validate_event(event)
+
+    def test_unknown_type_raises_at_emit(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            TraceEmitter().emit("nonsense", 0.0)
+
+    def test_stream_write_is_jsonl(self):
+        stream = io.StringIO()
+        emitter = TraceEmitter(stream=stream)
+        emitter.emit("tick", 0.5, temps_c=[40.0])
+        emitter.flush()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        decoded = json.loads(lines[0])
+        assert decoded == emitter.events[0]
+
+
+class TestTraceFileIO:
+    def test_write_read_round_trip(self, tmp_path):
+        events = [_event("run_start"), _event("tick", seq=1, t=0.01)]
+        path = write_events(events, tmp_path / "sub" / "trace.jsonl")
+        assert path.exists()
+        assert list(read_events(path)) == events
+
+    def test_read_reports_bad_json_with_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ok": 1}\nnot json at all\n')
+        with pytest.raises(TraceValidationError, match=":2:"):
+            list(read_events(path))
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert list(read_events(path)) == [{"a": 1}, {"b": 2}]
+
+
+class TestSummarizeEvents:
+    def _trace(self):
+        emitter = TraceEmitter()
+        emitter.emit("run_start", 0.0, num_cores=2, governor="ondemand",
+                     apps=["mpeg_dec"], seed=1)
+        temps = [[40.0, 50.0], [45.0, 42.0], [41.0, 55.0], [44.0, 43.0]]
+        for i, pair in enumerate(temps):
+            emitter.emit("tick", 3.0 * (i + 1), temps_c=pair)
+        emitter.emit("decision", 30.0, epoch=0, state=0, action=0,
+                     action_label="hold", phase="exploration", alpha=1.0)
+        emitter.emit("run_end", 60.0, total_time_s=60.0, completed=True, ticks=6000)
+        return emitter.events, temps
+
+    def test_headline_statistics(self):
+        events, temps = self._trace()
+        summary = summarize_events(events)
+        flat = [t for pair in temps for t in pair]
+        assert summary.total_events == len(events)
+        assert summary.events_by_type["tick"] == 4
+        assert summary.decisions == 1
+        assert summary.avg_temp_c == pytest.approx(sum(flat) / len(flat))
+        assert summary.peak_temp_c == 55.0
+        assert summary.total_time_s == 60.0
+        # Rainflow count must agree with the reliability module on the
+        # same per-core series.
+        expected = sum(
+            total_cycle_count(count_cycles([pair[core] for pair in temps]))
+            for core in range(2)
+        )
+        assert summary.num_cycles == pytest.approx(expected)
+
+    def test_validation_is_applied_by_default(self):
+        events, _ = self._trace()
+        events[1]["temps_c"] = "hot"
+        with pytest.raises(TraceValidationError):
+            summarize_events(events)
+        # validate=False trusts the producer (used for freshly built events).
+        events[1]["temps_c"] = [40.0, 41.0]
+        summarize_events(events, validate=False)
+
+    def test_empty_trace(self):
+        summary = summarize_events([])
+        assert summary.total_events == 0
+        assert summary.avg_temp_c == 0.0
+        assert summary.num_cycles == 0.0
+
+    def test_total_time_falls_back_to_last_event(self):
+        summary = summarize_events([_event("tick", t=12.5)])
+        assert summary.total_time_s == 12.5
+
+    def test_format_summary_mentions_headlines(self):
+        events, _ = self._trace()
+        text = format_summary(summarize_events(events))
+        assert "avg temperature" in text
+        assert "rainflow cycles" in text
+        assert "decisions" in text
+        assert "tick" in text
+
+    def test_as_dict_round_trips_through_json(self):
+        events, _ = self._trace()
+        dump = summarize_events(events).as_dict()
+        assert json.loads(json.dumps(dump)) == dump
+
+
+class TestConfigDigest:
+    def test_deterministic_and_order_insensitive(self):
+        a = config_digest({"x": 1, "y": [1, 2]})
+        b = config_digest({"y": [1, 2], "x": 1})
+        assert a == b
+        assert len(a) == 64
+        assert config_digest({"x": 2, "y": [1, 2]}) != a
+
+
+class TestRunManifest:
+    def _write_run_dir(self, tmp_path):
+        (tmp_path / "trace.jsonl").write_text('{"schema": 1}\n')
+        (tmp_path / "metrics.json").write_text("{}\n")
+        manifest = build_manifest(
+            {"app": "mpeg_dec", "seed": 1},
+            run={"app": "mpeg_dec", "policy": "proposed"},
+            repo_dir=tmp_path,
+        )
+        manifest.add_artefact(tmp_path / "trace.jsonl", tmp_path)
+        manifest.add_artefact(tmp_path / "metrics.json", tmp_path)
+        return manifest.write(tmp_path)
+
+    def test_build_write_load_verify(self, tmp_path):
+        path = self._write_run_dir(tmp_path)
+        document = load_manifest(path)
+        assert document["schema"] == MANIFEST_SCHEMA_VERSION
+        assert document["config_hash"] == config_digest({"app": "mpeg_dec", "seed": 1})
+        assert document["run"]["policy"] == "proposed"
+        assert set(document["artefacts"]) == {"trace.jsonl", "metrics.json"}
+        verify_artefacts(document, tmp_path)  # must not raise
+
+    def test_load_accepts_directory(self, tmp_path):
+        self._write_run_dir(tmp_path)
+        assert load_manifest(tmp_path)["schema"] == MANIFEST_SCHEMA_VERSION
+
+    def test_tampering_detected(self, tmp_path):
+        path = self._write_run_dir(tmp_path)
+        (tmp_path / "trace.jsonl").write_text('{"schema": 1, "tampered": true}\n')
+        with pytest.raises(ManifestError, match="drifted"):
+            verify_artefacts(load_manifest(path), tmp_path)
+
+    def test_missing_artefact_detected(self, tmp_path):
+        path = self._write_run_dir(tmp_path)
+        (tmp_path / "metrics.json").unlink()
+        with pytest.raises(ManifestError, match="missing"):
+            verify_artefacts(load_manifest(path), tmp_path)
+
+    def test_validate_rejects_malformed_documents(self):
+        good = RunManifest(config_hash="0" * 64).as_dict()
+        validate_manifest(good)
+        for corrupt in (
+            {**good, "schema": 99},
+            {**good, "config_hash": "short"},
+            {**good, "artefacts": []},
+            {**good, "git": 12},
+            {**good, "artefacts": {"x": {"sha256": "bad", "bytes": 1}}},
+            {**good, "artefacts": {"x": {"sha256": "0" * 64, "bytes": -1}}},
+        ):
+            with pytest.raises(ManifestError):
+                validate_manifest(corrupt)
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{nope")
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            load_manifest(path)
+
+    def test_file_digest_matches_content(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"abc" * 1000)
+        entry = file_digest(path)
+        assert entry["bytes"] == 3000
+        assert len(entry["sha256"]) == 64
+        assert entry == file_digest(path)

@@ -19,6 +19,7 @@ import pytest
 
 from repro.experiments.engine import ExperimentEngine, ResultCache
 from repro.experiments.engine.sweep import ARTEFACTS, regenerate_all
+from repro.obs.metrics import MetricsRegistry
 
 #: Smallest scale at which every app clears the 60 s warm-up skip.
 SCALE = 0.12
@@ -33,7 +34,9 @@ def sweeps(tmp_path_factory):
     with pytest.MonkeyPatch.context() as mp:
         mp.setenv("REPRO_CACHE_DIR", str(serial_root))
         serial = regenerate_all(
-            iteration_scale=SCALE, seed=1, engine=ExperimentEngine(jobs=1)
+            iteration_scale=SCALE,
+            seed=1,
+            engine=ExperimentEngine(jobs=1, metrics=MetricsRegistry()),
         )
 
     with pytest.MonkeyPatch.context() as mp:
@@ -43,7 +46,9 @@ def sweeps(tmp_path_factory):
         parallel = regenerate_all(
             iteration_scale=SCALE,
             seed=1,
-            engine=ExperimentEngine(jobs=4, cache=ResultCache()),
+            engine=ExperimentEngine(
+                jobs=4, cache=ResultCache(), metrics=MetricsRegistry()
+            ),
         )
         warm = regenerate_all(
             iteration_scale=SCALE,
@@ -86,6 +91,38 @@ def test_serial_engine_ran_uncached(sweeps):
     stats = sweeps["serial"].stats.as_dict()
     assert stats["cache_hits"] == 0
     assert stats["executed"] > 0
+
+
+def test_serial_and_parallel_metrics_agree(sweeps):
+    """Metric folding happens in submission order, so the deterministic
+    subset of the registry is identical between serial and parallel
+    execution of the same sweep.  (The cache gauges and the executed-job
+    counter legitimately differ: the serial engine is uncached and
+    re-executes cross-batch duplicates the parallel engine's cache
+    resolves.)"""
+    serial = sweeps["serial"].metrics
+    parallel = sweeps["parallel"].metrics
+    assert serial is not None and parallel is not None
+    deterministic = (
+        "repro_engine_jobs_submitted_total",
+        "repro_artefacts_regenerated_total",
+        "repro_job_avg_temp_c",
+        "repro_job_execution_time_s",
+    )
+    serial_dump = serial.as_dict()
+    parallel_dump = parallel.as_dict()
+    for name in deterministic:
+        assert serial_dump[name] == parallel_dump[name], (
+            f"metric {name} differs between serial and parallel sweeps"
+        )
+    assert serial_dump["repro_artefacts_regenerated_total"]["value"] == float(
+        len(ARTEFACTS)
+    )
+    # Per-job rollups cover every submitted job exactly once.
+    assert (
+        serial_dump["repro_job_avg_temp_c"]["count"]
+        == serial_dump["repro_engine_jobs_submitted_total"]["value"]
+    )
 
 
 def test_scaled_sweeps_never_touch_committed_results(sweeps):

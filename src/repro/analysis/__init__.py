@@ -1,9 +1,12 @@
-"""Post-processing helpers shared by the experiments.
+"""Post-processing helpers shared by the experiments, plus `repro lint`.
 
 * :mod:`repro.analysis.metrics` — normalisation and MTTF summaries;
 * :mod:`repro.analysis.autocorrelation` — the Figure 6 autocorrelation;
 * :mod:`repro.analysis.tables` — plain-text table rendering so every
-  benchmark prints rows directly comparable to the paper's artefacts.
+  benchmark prints rows directly comparable to the paper's artefacts;
+* :mod:`repro.analysis.lint` — the determinism-aware AST lint pass
+  behind the ``repro lint`` CLI subcommand (imported lazily: linting a
+  tree never drags the simulator in, and vice versa).
 """
 
 from repro.analysis.autocorrelation import autocorrelation, decimate

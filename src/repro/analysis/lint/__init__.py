@@ -1,0 +1,80 @@
+"""``repro lint``: determinism-aware static analysis of the repo.
+
+An AST-level lint framework enforcing the reproduction's invariants
+*before* a run, at commit time, instead of only via the expensive
+runtime suites (goldens, serial≡parallel identity, obs identity):
+
+* **DET001** — no nondeterminism sources in the decision-loop packages;
+* **DET002** — no unordered iteration on hashing/caching paths;
+* **OBS001** — the obs layer is observation-only;
+* **FP001**  — exact FP op order on the tick-loop fast path;
+* **CFG001** — every config dataclass field has a validation branch;
+* **API001** — no mutable default arguments or bare excepts.
+
+Suppress a finding inline with ``# repro: noqa[RULE] reason=...`` (the
+reason is mandatory) or record it in the committed baseline with
+``repro lint --fix-baseline``.  See DESIGN §12 for the rule-author
+guide.
+"""
+
+from repro.analysis.lint.baseline import (
+    BASELINE_FILENAME,
+    BaselineError,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.lint.context import ModuleContext, module_for_path
+from repro.analysis.lint.engine import (
+    LintReport,
+    default_target,
+    iter_source_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.registry import (
+    Rule,
+    RuleMeta,
+    all_rule_classes,
+    build_rules,
+    register,
+    rule_descriptions,
+)
+from repro.analysis.lint.reporters import (
+    REPORT_SCHEMA_VERSION,
+    render_human,
+    render_json,
+)
+from repro.analysis.lint.suppress import (
+    MALFORMED_SUPPRESSION_CODE,
+    Suppression,
+    parse_suppressions,
+)
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BaselineError",
+    "Finding",
+    "LintReport",
+    "MALFORMED_SUPPRESSION_CODE",
+    "ModuleContext",
+    "REPORT_SCHEMA_VERSION",
+    "Rule",
+    "RuleMeta",
+    "Severity",
+    "Suppression",
+    "all_rule_classes",
+    "build_rules",
+    "default_target",
+    "iter_source_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "module_for_path",
+    "parse_suppressions",
+    "register",
+    "render_human",
+    "render_json",
+    "rule_descriptions",
+    "save_baseline",
+]

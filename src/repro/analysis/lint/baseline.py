@@ -1,0 +1,73 @@
+"""The committed lint baseline: known findings that don't fail the build.
+
+The baseline is a small JSON document mapping finding fingerprints (see
+:meth:`~repro.analysis.lint.findings.Finding.fingerprint`) to a human
+description of the recorded finding.  ``repro lint --fix-baseline``
+rewrites it from the current findings; an entry disappears from the
+file as soon as the violation it records is fixed, so the baseline only
+ever shrinks under normal development.  The repo ships an **empty**
+baseline — every invariant violation is either fixed or carries an
+explicit reasoned ``noqa``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Union
+
+from repro.analysis.lint.findings import Finding
+
+#: Default filename, looked up in the working directory.
+BASELINE_FILENAME = ".repro-lint-baseline.json"
+
+#: Version of the baseline document layout.
+BASELINE_SCHEMA_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file is malformed."""
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, str]:
+    """Fingerprint -> description map of one baseline file.
+
+    Raises
+    ------
+    BaselineError
+        If the file is not a valid baseline document.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise BaselineError(f"{path}: baseline must be a JSON object")
+    if document.get("schema") != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"{path}: unsupported baseline schema {document.get('schema')!r}"
+        )
+    findings = document.get("findings")
+    if not isinstance(findings, dict):
+        raise BaselineError(f"{path}: baseline field 'findings' missing")
+    for fingerprint, description in findings.items():
+        if not isinstance(fingerprint, str) or not isinstance(description, str):
+            raise BaselineError(f"{path}: malformed entry {fingerprint!r}")
+    return dict(findings)
+
+
+def save_baseline(path: Union[str, Path], findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = {
+        finding.fingerprint(): f"{finding.rule} {finding.location()}: "
+        f"{finding.message}"
+        for finding in findings
+    }
+    document = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "findings": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

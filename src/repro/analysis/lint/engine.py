@@ -1,0 +1,180 @@
+"""The lint engine: walk files, run rules, apply suppressions + baseline.
+
+The engine turns paths into :class:`ModuleContext` objects, runs every
+selected rule over each, then sorts the raw findings into three bins:
+
+* **active** — unsuppressed, non-baselined; these fail the build;
+* **suppressed** — carried a valid reasoned noqa comment;
+* **baselined** — fingerprint present in the committed baseline.
+
+A ``repro: noqa`` comment *without* the mandatory ``reason=`` clause
+suppresses nothing and yields an extra active finding under the engine
+code ``NOQA001``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.lint.context import ModuleContext
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.registry import Rule, build_rules
+from repro.analysis.lint.suppress import (
+    MALFORMED_SUPPRESSION_CODE,
+    parse_suppressions,
+    suppresses,
+)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    rules: List[Rule] = field(default_factory=list)
+    files: int = 0
+    active: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing fails the build."""
+        return not self.active
+
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 otherwise."""
+        return 0 if self.clean else 1
+
+    def sort(self) -> None:
+        """Deterministic ordering: path, line, column, rule."""
+        for bucket in (self.active, self.suppressed, self.baselined):
+            bucket.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def _check_module(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
+    """Raw findings of every rule over one module, plus NOQA001s."""
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    for suppression in parse_suppressions(ctx.lines).values():
+        if not suppression.valid:
+            findings.append(
+                Finding(
+                    rule=MALFORMED_SUPPRESSION_CODE,
+                    severity=Severity.ERROR,
+                    path=ctx.path,
+                    module=ctx.module,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        "suppression is missing its mandatory reason= clause "
+                        f"(codes: {', '.join(suppression.codes)})"
+                    ),
+                    source_line=ctx.source_line(suppression.line),
+                )
+            )
+    return findings
+
+
+def _bin_findings(
+    ctx: ModuleContext,
+    findings: Iterable[Finding],
+    baseline: Dict[str, str],
+    report: LintReport,
+) -> None:
+    """Sort one module's raw findings into the report's three bins."""
+    suppressions = parse_suppressions(ctx.lines)
+    for finding in findings:
+        suppression = suppressions.get(finding.line)
+        if suppression is not None and suppresses(suppression, finding.rule):
+            report.suppressed.append(finding)
+        elif finding.fingerprint() in baseline:
+            report.baselined.append(finding)
+        else:
+            report.active.append(finding)
+
+
+def iter_source_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Every ``*.py`` under ``paths`` (files pass through), sorted."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        else:
+            files.append(path)
+    return sorted(set(files))
+
+
+def default_target() -> Path:
+    """What ``repro lint`` audits when given no paths: the package itself."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str,
+    path: str = "<fixture>",
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Dict[str, str]] = None,
+) -> LintReport:
+    """Lint an in-memory snippet as if it were module ``module``.
+
+    The fixture entry point the rule unit tests drive: the snippet is
+    attributed to an arbitrary dotted module name, so scope-sensitive
+    rules (DET001's package list, CFG001's ``repro.config`` pin) can be
+    exercised without touching the real tree.
+    """
+    report = LintReport(rules=build_rules(rules))
+    ctx = ModuleContext.from_source(source, path=path, module=module)
+    report.files = 1
+    _bin_findings(ctx, _check_module(ctx, report.rules), baseline or {}, report)
+    report.sort()
+    return report
+
+
+def lint_paths(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    *,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Dict[str, str]] = None,
+) -> LintReport:
+    """Lint files/directories (default: the installed ``repro`` package).
+
+    Files that fail to parse are reported as an active ``PARSE`` error
+    rather than aborting the run.
+    """
+    report = LintReport(rules=build_rules(rules))
+    targets = iter_source_files(list(paths) if paths else [default_target()])
+    for path in targets:
+        report.files += 1
+        try:
+            ctx = ModuleContext.from_file(path)
+        except SyntaxError as exc:
+            report.active.append(
+                Finding(
+                    rule="PARSE",
+                    severity=Severity.ERROR,
+                    path=str(path),
+                    module=path.stem,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                    source_line="",
+                )
+            )
+            continue
+        _bin_findings(
+            ctx, _check_module(ctx, report.rules), baseline or {}, report
+        )
+    report.sort()
+    return report

@@ -1,0 +1,63 @@
+"""Findings: what a lint rule reports and how it is fingerprinted.
+
+A :class:`Finding` pins one rule violation to a file, line and column.
+Its *fingerprint* deliberately excludes the line number: it hashes the
+module, the rule code and the stripped source text of the flagged line,
+so a finding recorded in the baseline keeps matching when unrelated
+edits shift the file, and stops matching as soon as the offending line
+itself changes.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Union
+
+
+class Severity(enum.Enum):
+    """How seriously a finding violates the repo's invariants."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+    #: Stripped source text of the flagged line (fingerprint input).
+    source_line: str
+
+    def fingerprint(self) -> str:
+        """Stable identity of the finding across unrelated line shifts."""
+        payload = f"{self.module}\x1f{self.rule}\x1f{self.source_line}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        """``path:line:col`` for human output."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready document (the JSON reporter's per-finding schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,64 @@
+"""Lint output: a grep-friendly human report and a stable JSON document.
+
+The JSON reporter is the machine interface CI consumes (``repro lint
+--json``); its top-level layout is schema-versioned and covered by
+``tests/test_analysis_lint.py`` so downstream automation can rely on
+it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.lint.engine import LintReport
+from repro.analysis.lint.findings import Severity
+from repro.analysis.lint.registry import rule_descriptions
+
+#: Version of the JSON report layout.
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-readable report (one JSON document, sorted keys)."""
+    document: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "rules": rule_descriptions(report.rules),
+        "findings": [finding.as_dict() for finding in report.active],
+        "summary": {
+            "files": report.files,
+            "findings": len(report.active),
+            "errors": sum(
+                1 for f in report.active if f.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for f in report.active if f.severity is Severity.WARNING
+            ),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_human(report: LintReport, verbose: bool = False) -> str:
+    """The console report: ``path:line:col: CODE message`` plus a summary."""
+    lines: List[str] = []
+    for finding in report.active:
+        lines.append(
+            f"{finding.location()}: {finding.rule} "
+            f"[{finding.severity}] {finding.message}"
+        )
+    if verbose:
+        for finding in report.suppressed:
+            lines.append(f"{finding.location()}: {finding.rule} (suppressed)")
+        for finding in report.baselined:
+            lines.append(f"{finding.location()}: {finding.rule} (baselined)")
+    lines.append(
+        f"checked {report.files} file{'s' if report.files != 1 else ''}: "
+        f"{len(report.active)} finding{'s' if len(report.active) != 1 else ''}"
+        f" ({len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Inline suppression: ``# repro: noqa[RULE] reason=...``.
+
+A finding is suppressed when its line carries a ``repro: noqa`` comment
+naming the finding's rule code (or several, comma-separated).  The
+linter *requires* a non-empty ``reason=`` clause: a reasonless noqa
+does not suppress anything and is itself reported under the engine
+code ``NOQA001``, so every exemption in the tree documents why the
+invariant does not apply there.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Engine-level code for a malformed (reasonless) suppression comment.
+MALFORMED_SUPPRESSION_CODE = "NOQA001"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s+reason=(?P<reason>.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed noqa comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+
+    @property
+    def valid(self) -> bool:
+        """A suppression only counts with a non-empty reason."""
+        return bool(self.reason.strip())
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, Suppression]:
+    """All ``repro: noqa`` comments of a file, keyed by 1-indexed line."""
+    suppressions: Dict[int, Suppression] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        suppressions[index] = Suppression(line=index, codes=codes, reason=reason)
+    return suppressions
+
+
+def suppresses(suppression: Suppression, rule_code: str) -> bool:
+    """Whether a (valid) suppression covers ``rule_code``."""
+    return suppression.valid and rule_code.upper() in suppression.codes

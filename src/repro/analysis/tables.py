@@ -31,7 +31,7 @@ def format_table(
     """
     rendered: List[List[str]] = []
     for row in rows:
-        cells = []
+        cells: List[str] = []
         for cell in row:
             if isinstance(cell, float):
                 cells.append(float_format.format(cell))
@@ -44,7 +44,7 @@ def format_table(
             raise ValueError("row width does not match headers")
         for index, cell in enumerate(cells):
             widths[index] = max(widths[index], len(cell))
-    lines = []
+    lines: List[str] = []
     if title:
         lines.append(title)
     header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))

@@ -187,6 +187,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional slowdown vs the baseline (default 0.30)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism-aware static analysis over the package",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the schema-versioned JSON report instead of text",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="CODE",
+        default=None,
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: ./.repro-lint-baseline.json if present)",
+    )
+    lint.add_argument(
+        "--fix-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered rule and exit",
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings",
+    )
+
     sub.add_parser("list", help="list artefacts, applications and policies")
     return parser
 
@@ -425,6 +469,45 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import (
+        BASELINE_FILENAME,
+        all_rule_classes,
+        lint_paths,
+        load_baseline,
+        render_human,
+        render_json,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for code, cls in all_rule_classes().items():
+            meta = cls.meta
+            print(f"{code} [{meta.severity}] {meta.name}")
+            print(f"    {meta.rationale}")
+        return 0
+    baseline_path = Path(args.baseline) if args.baseline else Path(BASELINE_FILENAME)
+    baseline = {}
+    if not args.fix_baseline and baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+    try:
+        report = lint_paths(
+            args.paths or None, rules=args.rules, baseline=baseline
+        )
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    if args.fix_baseline:
+        count = save_baseline(baseline_path, report.active)
+        print(f"baseline {baseline_path} rewritten with {count} finding(s)")
+        return 0
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_human(report, verbose=args.verbose))
+    return report.exit_code()
+
+
 def _command_list() -> int:
     print("artefacts   :", ", ".join(ARTEFACTS))
     print("applications:", ", ".join(APP_NAMES))
@@ -444,6 +527,8 @@ def main(argv=None) -> int:
         return _command_trace(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "lint":
+        return _command_lint(args)
     if args.command == "all":
         return _command_all(args)
     experiment = ARTEFACTS[args.command]

@@ -24,6 +24,59 @@ from typing import Dict, List, Sequence, Tuple
 from repro.units import ghz
 
 # ---------------------------------------------------------------------------
+# Validation helpers (every dataclass field below is covered by one of
+# these in its __post_init__ — enforced statically by `repro lint`'s
+# CFG001 rule)
+# ---------------------------------------------------------------------------
+
+
+def _check_positive(name: str, value: float) -> None:
+    """Raise unless ``value`` is finite and strictly positive."""
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be finite and > 0, got {value}")
+
+
+def _check_non_negative(name: str, value: float) -> None:
+    """Raise unless ``value`` is finite and >= 0."""
+    if not math.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be finite and >= 0, got {value}")
+
+
+def _check_finite(name: str, value: float) -> None:
+    """Raise unless ``value`` is a finite number."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+
+
+def _check_bool(name: str, value: bool) -> None:
+    """Raise unless ``value`` is an actual bool (not a truthy stand-in)."""
+    if not isinstance(value, bool):
+        raise ValueError(f"{name} must be a bool, got {value!r}")
+
+
+def _check_int_at_least(name: str, value: int, minimum: int) -> None:
+    """Raise unless ``value`` is an int >= ``minimum``."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an int, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+
+
+def _check_seed(name: str, value: int) -> None:
+    """Raise unless ``value`` is an int usable as an RNG seed."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an int seed, got {value!r}")
+
+
+def _check_weight_pair(name: str, pair: Tuple[float, float]) -> None:
+    """Raise unless ``pair`` is two finite non-negative weights."""
+    if len(pair) != 2:
+        raise ValueError(f"{name} must be a (stress, aging) pair, got {pair!r}")
+    for weight in pair:
+        _check_non_negative(name, weight)
+
+
+# ---------------------------------------------------------------------------
 # Platform: operating points, power, thermal
 # ---------------------------------------------------------------------------
 
@@ -42,6 +95,10 @@ class OperatingPoint:
 
     frequency_hz: float
     voltage_v: float
+
+    def __post_init__(self) -> None:
+        _check_positive("frequency_hz", self.frequency_hz)
+        _check_positive("voltage_v", self.voltage_v)
 
 
 def default_opp_table() -> Tuple[OperatingPoint, ...]:
@@ -82,6 +139,12 @@ class PowerConfig:
     #: Constant platform baseline power attributed to the package (watts).
     idle_package_power: float = 1.2
 
+    def __post_init__(self) -> None:
+        _check_positive("c_eff", self.c_eff)
+        for name in ("k_leak", "t_leak", "uncore_power_per_active_core",
+                     "idle_package_power"):
+            _check_non_negative(name, getattr(self, name))
+
 
 @dataclass(frozen=True)
 class ThermalConfig:
@@ -112,6 +175,15 @@ class ThermalConfig:
     ambient_drift_sigma_c: float = 0.0
     #: Correlation time of the ambient fluctuation (seconds).
     ambient_drift_tau_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        _check_finite("ambient_c", self.ambient_c)
+        for name in ("core_capacitance", "spreader_capacitance",
+                     "core_to_spreader", "spreader_to_ambient",
+                     "ambient_drift_tau_s"):
+            _check_positive(name, getattr(self, name))
+        _check_non_negative("core_to_core", self.core_to_core)
+        _check_non_negative("ambient_drift_sigma_c", self.ambient_drift_sigma_c)
 
 
 @dataclass(frozen=True)
@@ -163,6 +235,39 @@ class PlatformConfig:
     sensor: SensorConfig = field(default_factory=SensorConfig)
     #: Adjacency of cores on the die as index pairs (2x2 grid by default).
     core_adjacency: Tuple[Tuple[int, int], ...] = ((0, 1), (0, 2), (1, 3), (2, 3))
+
+    def __post_init__(self) -> None:
+        _check_int_at_least("num_cores", self.num_cores, 1)
+        _check_positive("dt", self.dt)
+        if not self.opp_table:
+            raise ValueError("opp_table must list at least one operating point")
+        for point in self.opp_table:
+            if not isinstance(point, OperatingPoint):
+                raise ValueError(
+                    f"opp_table entries must be OperatingPoint, got {point!r}"
+                )
+        if not isinstance(self.power, PowerConfig):
+            raise ValueError(f"power must be a PowerConfig, got {self.power!r}")
+        if not isinstance(self.thermal, ThermalConfig):
+            raise ValueError(
+                f"thermal must be a ThermalConfig, got {self.thermal!r}"
+            )
+        if not isinstance(self.sensor, SensorConfig):
+            raise ValueError(
+                f"sensor must be a SensorConfig, got {self.sensor!r}"
+            )
+        for pair in self.core_adjacency:
+            if len(pair) != 2 or pair[0] == pair[1]:
+                raise ValueError(
+                    f"core_adjacency entries must pair two distinct cores, "
+                    f"got {pair!r}"
+                )
+            for core in pair:
+                if not 0 <= core < self.num_cores:
+                    raise ValueError(
+                        f"core_adjacency references core {core} outside "
+                        f"0..{self.num_cores - 1}"
+                    )
 
     def min_frequency(self) -> float:
         """Lowest frequency of the OPP table in hertz."""
@@ -247,6 +352,9 @@ class FaultConfig:
     seed: int = 7331
 
     def __post_init__(self) -> None:
+        _check_bool("enabled", self.enabled)
+        _check_seed("seed", self.seed)
+        _check_finite("drift_rate_c_per_s", self.drift_rate_c_per_s)
         for name in (
             "dropout_prob",
             "spike_prob",
@@ -314,6 +422,7 @@ class SupervisorConfig:
     fault_deadline_s: float = 10.0
 
     def __post_init__(self) -> None:
+        _check_bool("enabled", self.enabled)
         if self.max_rate_c_per_s <= 0.0:
             raise ValueError(
                 f"max_rate_c_per_s must be > 0, got {self.max_rate_c_per_s}"
@@ -368,6 +477,11 @@ class EngineConfig:
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        _check_bool("use_cache", self.use_cache)
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise ValueError(
+                f"cache_dir must be a string or None, got {self.cache_dir!r}"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -410,6 +524,19 @@ class ReliabilityConfig:
     cycling_scale_atc: "float | None" = None
     #: Target cycling MTTF of the calibration reference profile (years).
     cycling_reference_mttf_years: float = 1.5
+
+    def __post_init__(self) -> None:
+        _check_finite("reference_temp_c", self.reference_temp_c)
+        for name in ("aging_activation_energy_ev", "weibull_beta",
+                     "coffin_manson_exponent", "baseline_mttf_years",
+                     "cycling_reference_mttf_years"):
+            _check_positive(name, getattr(self, name))
+        _check_non_negative("elastic_threshold_k", self.elastic_threshold_k)
+        _check_non_negative(
+            "cycling_activation_energy_ev", self.cycling_activation_energy_ev
+        )
+        if self.cycling_scale_atc is not None:
+            _check_positive("cycling_scale_atc", self.cycling_scale_atc)
 
 
 # ---------------------------------------------------------------------------
@@ -467,6 +594,39 @@ class AgentConfig:
     #: Random seed for action exploration.
     seed: int = 2014
 
+    def __post_init__(self) -> None:
+        _check_positive("sampling_interval_s", self.sampling_interval_s)
+        _check_positive("decision_epoch_s", self.decision_epoch_s)
+        _check_int_at_least("num_stress_bins", self.num_stress_bins, 1)
+        _check_int_at_least("num_aging_bins", self.num_aging_bins, 1)
+        _check_int_at_least("num_actions", self.num_actions, 1)
+        _check_probability("discount", self.discount)
+        _check_positive("alpha_decay_epochs", self.alpha_decay_epochs)
+        _check_probability("alpha_exploit_threshold", self.alpha_exploit_threshold)
+        _check_probability("alpha_intra", self.alpha_intra)
+        # The moving-average thresholds are deliberately allowed outside
+        # [0, 1]: the ablation's no_variation variant pushes them beyond
+        # any reachable deviation to disable detection.
+        _check_non_negative("stress_ma_lower", self.stress_ma_lower)
+        _check_non_negative("aging_ma_lower", self.aging_ma_lower)
+        if self.stress_ma_upper < self.stress_ma_lower:
+            raise ValueError(
+                "stress_ma_upper must be >= stress_ma_lower "
+                f"({self.stress_ma_upper} < {self.stress_ma_lower})"
+            )
+        if self.aging_ma_upper < self.aging_ma_lower:
+            raise ValueError(
+                "aging_ma_upper must be >= aging_ma_lower "
+                f"({self.aging_ma_upper} < {self.aging_ma_lower})"
+            )
+        _check_int_at_least("ma_window", self.ma_window, 1)
+        _check_weight_pair("weight_stress_dominant", self.weight_stress_dominant)
+        _check_weight_pair("weight_aging_dominant", self.weight_aging_dominant)
+        _check_positive("gaussian_width", self.gaussian_width)
+        _check_finite("gaussian_centre", self.gaussian_centre)
+        _check_finite("performance_weight", self.performance_weight)
+        _check_seed("seed", self.seed)
+
 
 @dataclass(frozen=True)
 class GeQiuConfig:
@@ -488,6 +648,21 @@ class GeQiuConfig:
     #: Weight of the performance term in its reward.
     perf_weight: float = 0.6
     seed: int = 2011
+
+    def __post_init__(self) -> None:
+        _check_positive("interval_s", self.interval_s)
+        _check_int_at_least("num_temp_bins", self.num_temp_bins, 2)
+        if len(self.temp_range_c) != 2 or self.temp_range_c[0] >= self.temp_range_c[1]:
+            raise ValueError(
+                f"temp_range_c must be an ascending (lo, hi) pair, "
+                f"got {self.temp_range_c!r}"
+            )
+        _check_finite("temp_threshold_c", self.temp_threshold_c)
+        _check_probability("discount", self.discount)
+        _check_positive("alpha_decay_epochs", self.alpha_decay_epochs)
+        _check_non_negative("temp_weight", self.temp_weight)
+        _check_non_negative("perf_weight", self.perf_weight)
+        _check_seed("seed", self.seed)
 
 
 def default_platform_config() -> PlatformConfig:

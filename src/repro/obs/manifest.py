@@ -171,7 +171,7 @@ def validate_manifest(document: dict) -> None:
         raise ManifestError("manifest field 'git' must be a string or null")
     if len(document["config_hash"]) != 64:
         raise ManifestError("config_hash must be a hex SHA-256 digest")
-    for name, entry in document["artefacts"].items():
+    for name, entry in sorted(document["artefacts"].items()):
         if not isinstance(entry, dict):
             raise ManifestError(f"artefact entry {name!r} must be an object")
         if not isinstance(entry.get("sha256"), str) or len(entry["sha256"]) != 64:
@@ -189,7 +189,7 @@ def verify_artefacts(document: dict, root: Union[str, Path]) -> None:
         If any listed file is missing or its digest/size drifted.
     """
     root = Path(root)
-    for name, entry in document["artefacts"].items():
+    for name, entry in sorted(document["artefacts"].items()):
         path = root / name
         if not path.exists():
             raise ManifestError(f"artefact {name!r} listed but missing")

@@ -198,7 +198,9 @@ class Application:
         if window <= 0.0:
             return 0.0
         threshold = self._elapsed_s - window
-        recent = sum(1 for t in self._completion_times_s if t > threshold)
+        recent = sum(  # repro: noqa[FP001] reason=integer event count, no float reassociation possible
+            1 for t in self._completion_times_s if t > threshold
+        )
         return recent / window
 
     def performance_satisfied(self, window_s: Optional[float] = None) -> bool:

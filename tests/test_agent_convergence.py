@@ -299,6 +299,7 @@ class TestVariationDetectorBranches:
     def test_window_must_be_positive(self):
         from dataclasses import replace
 
-        cfg = replace(default_agent_config(), ma_window=0)
+        # Since the CFG001 coverage pass, the config itself rejects a
+        # non-positive window at construction time.
         with pytest.raises(ValueError, match="window"):
-            VariationDetector(cfg)
+            replace(default_agent_config(), ma_window=0)

@@ -5,9 +5,9 @@ bit-identical across processes, machines and sweep parallelism.  Two
 statically checkable preconditions back it:
 
 * **DET001** — the decision-loop packages (``core``, ``soc``, ``sched``,
-  ``reliability``) draw no entropy from outside the seeded RNG streams:
-  no wall clocks, no stdlib ``random``, no unseeded numpy generators,
-  no ``os.urandom``, no environment reads.
+  ``reliability``, ``checkpoint``) draw no entropy from outside the
+  seeded RNG streams: no wall clocks, no stdlib ``random``, no unseeded
+  numpy generators, no ``os.urandom``, no environment reads.
 * **DET002** — the content-addressed experiment engine and the run
   manifest never iterate sets or unordered dict views on paths that
   feed hashing, caching or result folding; every such loop goes through
@@ -29,6 +29,7 @@ DETERMINISTIC_PACKAGES: Tuple[str, ...] = (
     "repro.soc",
     "repro.sched",
     "repro.reliability",
+    "repro.checkpoint",
 )
 
 #: Exact canonical names that are nondeterminism sources.

@@ -1,0 +1,57 @@
+"""Content-addressed tick-level checkpoint/resume for simulations.
+
+See :mod:`repro.checkpoint.store` for the on-disk format (canonical
+JSON, SHA-256 digests, manifest chain), :mod:`repro.checkpoint.state`
+for the capture/restore of the simulation closure, and
+:mod:`repro.checkpoint.runtime` for the run-loop hook and resume entry
+point.
+"""
+
+from repro.checkpoint.runtime import Checkpointer, resume_simulation
+from repro.checkpoint.state import (
+    capture_agent,
+    capture_chip,
+    capture_fault_injector,
+    capture_rng_state,
+    capture_simulation,
+    restore_agent,
+    restore_chip,
+    restore_fault_injector,
+    restore_rng_state,
+    restore_simulation,
+)
+from repro.checkpoint.store import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointRecord,
+    CheckpointStateError,
+    CheckpointStore,
+    LoadedCheckpoint,
+    checkpoint_digest,
+    load_checkpoint_file,
+    serialize_checkpoint,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointRecord",
+    "CheckpointStateError",
+    "CheckpointStore",
+    "Checkpointer",
+    "LoadedCheckpoint",
+    "capture_agent",
+    "capture_chip",
+    "capture_fault_injector",
+    "capture_rng_state",
+    "capture_simulation",
+    "checkpoint_digest",
+    "load_checkpoint_file",
+    "restore_agent",
+    "restore_chip",
+    "restore_fault_injector",
+    "restore_rng_state",
+    "restore_simulation",
+    "resume_simulation",
+    "serialize_checkpoint",
+]

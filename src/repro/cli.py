@@ -10,6 +10,9 @@
     python -m repro run tachyon --profile   # + cProfile hot-spot dump
     python -m repro bench             # tick-loop benchmark -> BENCH_PR3.json
     python -m repro list              # available artefacts & policies
+    python -m repro run tachyon --checkpoint-every 500 --checkpoint-dir ckpts
+    python -m repro run tachyon --checkpoint-dir ckpts --resume
+    python -m repro ckpt verify ckpts # audit a checkpoint chain
 
 Every artefact command prints the same console table its benchmark
 prints.  Artefact commands run through the experiment engine
@@ -49,6 +52,48 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="bypass the content-addressed result cache under .repro-cache/",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill any single job attempt running longer than this "
+        "(parallel mode only; default: no timeout)",
+    )
+    parser.add_argument(
+        "--max-job-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per job before it is recorded as failed (default 3)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the deterministic retry backoff accounting "
+        "(default 0.5)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="snapshot each job's full simulation state every TICKS ticks",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="root directory for per-job checkpoint stores",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume interrupted jobs from their newest valid checkpoint "
+        "under --checkpoint-dir",
     )
 
 
@@ -137,6 +182,53 @@ def build_parser() -> argparse.ArgumentParser:
         default="obs",
         help="directory for trace/metrics/result/manifest artefacts "
         "(default ./obs)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="snapshot the full simulation state every TICKS ticks",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint store directory (required for --checkpoint-every)",
+    )
+    run.add_argument(
+        "--resume",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="CKPT",
+        help="resume from the newest valid checkpoint in --checkpoint-dir, "
+        "or from an explicit checkpoint file",
+    )
+
+    ckpt = sub.add_parser(
+        "ckpt", help="inspect and maintain a checkpoint directory"
+    )
+    ckpt_sub = ckpt.add_subparsers(dest="ckpt_command", required=True)
+    ckpt_list = ckpt_sub.add_parser(
+        "list", help="list the manifest chain of a checkpoint directory"
+    )
+    ckpt_list.add_argument("dir", help="checkpoint directory")
+    ckpt_verify = ckpt_sub.add_parser(
+        "verify",
+        help="re-hash every checkpoint and audit the manifest chain",
+    )
+    ckpt_verify.add_argument("dir", help="checkpoint directory")
+    ckpt_prune = ckpt_sub.add_parser(
+        "prune", help="drop all but the newest N valid checkpoints"
+    )
+    ckpt_prune.add_argument("dir", help="checkpoint directory")
+    ckpt_prune.add_argument(
+        "--keep",
+        type=int,
+        default=3,
+        metavar="N",
+        help="valid checkpoints to retain (default 3)",
     )
 
     trace = sub.add_parser("trace", help="inspect JSONL run traces")
@@ -238,7 +330,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _engine_from(args: argparse.Namespace) -> ExperimentEngine:
     """Build the engine an artefact command asked for."""
     return ExperimentEngine.from_config(
-        EngineConfig(jobs=args.jobs, use_cache=not args.no_cache)
+        EngineConfig(
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            job_timeout_s=args.job_timeout,
+            max_job_attempts=args.max_job_attempts,
+            retry_backoff_s=args.retry_backoff,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=bool(args.resume),
+        )
     )
 
 
@@ -275,7 +376,36 @@ def _command_all(args: argparse.Namespace) -> int:
         path = Path(args.metrics)
         _write_metrics(engine.metrics, path)
         print(f"metrics written to {path}")
-    return 0
+    manifest_path = _write_sweep_manifest(args, report)
+    print(f"manifest written to {manifest_path}")
+    return 0 if report.ok else 1
+
+
+def _write_sweep_manifest(args: argparse.Namespace, report) -> Path:
+    """Bind the sweep's outputs — and its structured job failures — to
+    the configuration that produced them."""
+    from repro.obs import build_manifest
+
+    sweep_config = {
+        "command": "all",
+        "scale": args.scale,
+        "seed": args.seed,
+        "only": args.only,
+        "jobs": args.jobs,
+    }
+    run_record = dict(sweep_config)
+    run_record["failures"] = {
+        name: [failure.as_dict() for failure in job_failures]
+        for name, job_failures in report.failed_artefacts.items()
+    }
+    if report.stats is not None:
+        run_record["engine_stats"] = report.stats.as_dict()
+    manifest = build_manifest(
+        sweep_config, run=run_record, repo_dir=report.output_dir
+    )
+    for run in report.runs:
+        manifest.add_artefact(run.path, report.output_dir)
+    return manifest.write(report.output_dir)
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -294,6 +424,10 @@ def _command_run(args: argparse.Namespace) -> int:
         registry = MetricsRegistry() if args.metrics else None
         tracer = TraceEmitter() if args.trace else None
         instrumentation = Instrumentation(registry=registry, tracer=tracer)
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and isinstance(args.resume, str):
+        # An explicit checkpoint file implies its directory's store.
+        checkpoint_dir = str(Path(args.resume).parent)
     summary = run_workload(
         args.app,
         args.dataset,
@@ -303,6 +437,9 @@ def _command_run(args: argparse.Namespace) -> int:
         faults=fault_config_for(args.faults),
         supervisor=default_supervisor_config() if args.supervised else None,
         instrumentation=instrumentation,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume=args.resume,
     )
     if profiler is not None:
         import pstats
@@ -397,6 +534,59 @@ def _write_run_observability(
     manifest_path = manifest.write(obs_dir)
     for path in paths + [manifest_path]:
         print(f"wrote {path}")
+
+
+def _command_ckpt(args: argparse.Namespace) -> int:
+    from repro.checkpoint import CheckpointStore
+
+    store = CheckpointStore(args.dir)
+    if args.ckpt_command == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"no checkpoint chain under {args.dir}")
+            return 0
+        print(f"{'tick':>10} {'digest':<12} {'bytes':>9}  file")
+        for entry in entries:
+            print(
+                f"{entry.tick:>10} {entry.digest[:12]:<12} "
+                f"{entry.bytes:>9}  {entry.file}"
+            )
+        return 0
+    if args.ckpt_command == "verify":
+        reports = store.verify()
+        if not reports:
+            print(f"nothing to verify under {args.dir}")
+            return 0
+        bad = 0
+        print(f"{'tick':>10} {'digest':<12} {'status':<8} {'chain':<6} file")
+        for report in reports:
+            healthy = report["status"] == "ok" and report["chain_ok"]
+            bad += 0 if healthy else 1
+            tick = "?" if report["tick"] is None else report["tick"]
+            print(
+                f"{tick:>10} {report['digest'][:12]:<12} "
+                f"{report['status']:<8} "
+                f"{'ok' if report['chain_ok'] else 'BROKEN':<6} "
+                f"{report['file']}"
+            )
+        print(
+            f"{len(reports)} checkpoint(s), "
+            f"{len(reports) - bad} healthy, {bad} problem(s)"
+        )
+        return 0 if bad == 0 else 1
+    if args.ckpt_command == "prune":
+        if args.keep < 1:
+            print("--keep must be >= 1")
+            return 2
+        removed = store.prune(args.keep)
+        for record in removed:
+            print(f"removed {record.file} (tick {record.tick})")
+        print(
+            f"pruned {len(removed)} checkpoint(s), "
+            f"kept {len(store.entries())}"
+        )
+        return 0
+    raise AssertionError(f"unhandled ckpt command {args.ckpt_command!r}")
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -523,6 +713,8 @@ def main(argv=None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "ckpt":
+        return _command_ckpt(args)
     if args.command == "trace":
         return _command_trace(args)
     if args.command == "bench":

@@ -473,6 +473,24 @@ class EngineConfig:
     #: Cache root directory; ``None`` selects ``$REPRO_CACHE_DIR`` or
     #: ``./.repro-cache``.
     cache_dir: "str | None" = None
+    #: Wall-clock budget per job attempt in seconds; ``None`` disables
+    #: the timeout (a hung worker then blocks the batch forever).
+    job_timeout_s: "float | None" = None
+    #: Total attempts per job (first try + retries) before the engine
+    #: records a structured failure.
+    max_job_attempts: int = 3
+    #: Base of the deterministic exponential backoff *accounting*
+    #: (``base * 2**(attempt-1)`` seconds, recorded per failure; the
+    #: engine never sleeps, so retries stay deterministic and fast).
+    retry_backoff_s: float = 0.5
+    #: Checkpoint cadence in ticks for jobs run through the engine;
+    #: ``None``/0 disables checkpointing.
+    checkpoint_every: "int | None" = None
+    #: Root directory for per-job checkpoint stores; ``None`` disables
+    #: checkpointing and resume.
+    checkpoint_dir: "str | None" = None
+    #: Resume interrupted jobs from their newest valid checkpoint.
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -482,6 +500,19 @@ class EngineConfig:
             raise ValueError(
                 f"cache_dir must be a string or None, got {self.cache_dir!r}"
             )
+        if self.job_timeout_s is not None:
+            _check_positive("job_timeout_s", self.job_timeout_s)
+        _check_int_at_least("max_job_attempts", self.max_job_attempts, 1)
+        _check_non_negative("retry_backoff_s", self.retry_backoff_s)
+        if self.checkpoint_every is not None:
+            _check_int_at_least("checkpoint_every", self.checkpoint_every, 1)
+        if self.checkpoint_dir is not None and not isinstance(
+            self.checkpoint_dir, str
+        ):
+            raise ValueError(
+                f"checkpoint_dir must be a string or None, got {self.checkpoint_dir!r}"
+            )
+        _check_bool("resume", self.resume)
 
 
 # ---------------------------------------------------------------------------

@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
 import repro
 from repro.experiments.engine.spec import JobSpec, job_key
+from repro.ioutil import atomic_write
 
 #: Environment variable relocating the cache tree (tests, CI).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -132,22 +132,16 @@ class ResultCache:
         return summary
 
     def put(self, spec: JobSpec, summary) -> str:
-        """Store one summary; atomic against concurrent writers."""
+        """Store one summary; atomic and durable against crashes."""
         key = self.key_for(spec)
         path = self._path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": self.version, "key": key, "summary": summary}
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write(
+            path,
+            lambda handle: pickle.dump(
+                payload, handle, protocol=pickle.HIGHEST_PROTOCOL
+            ),
+        )
         self.stats.stores += 1
         return key
 

@@ -21,13 +21,16 @@ against.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EngineConfig
 from repro.experiments.engine.cache import ResultCache
-from repro.experiments.engine.spec import JobSpec
+from repro.experiments.engine.spec import JobSpec, job_key
 from repro.experiments.engine.worker import execute_job
 from repro.experiments.runner import RunSummary
 from repro.obs.metrics import (
@@ -35,6 +38,9 @@ from repro.obs.metrics import (
     MetricsRegistry,
     TEMPERATURE_BUCKETS_C,
 )
+
+#: Poll period of the parallel wait loop when a job timeout is armed.
+_TIMEOUT_POLL_S = 0.1
 
 
 @dataclass
@@ -52,6 +58,14 @@ class EngineStats:
     cache_misses: int = 0
     #: Duplicate submissions shared within batches.
     deduplicated: int = 0
+    #: Failed attempts that were retried.
+    retried: int = 0
+    #: Jobs that exhausted every attempt.
+    failed: int = 0
+    #: Attempts killed by the per-job timeout.
+    timeouts: int = 0
+    #: Worker-pool respawns (timeout kills and broken-pool recoveries).
+    pool_restarts: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view (for logging and tests)."""
@@ -61,7 +75,61 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "deduplicated": self.deduplicated,
+            "retried": self.retried,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
         }
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of a job that exhausted its attempts.
+
+    Replaces the bare worker traceback with everything needed to triage
+    and re-run the job: the spec's content hash, a display label, how
+    many attempts were burned over how long, the final error, the
+    deterministic backoff the retries accounted, and whether the last
+    attempt was killed by the timeout.
+    """
+
+    key: str
+    label: str
+    attempts: int
+    duration_s: float
+    error_type: str
+    message: str
+    backoff_s: float = 0.0
+    timed_out: bool = False
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (manifest records, summaries)."""
+        return {
+            "key": self.key,
+            "label": self.label,
+            "attempts": self.attempts,
+            "duration_s": self.duration_s,
+            "error_type": self.error_type,
+            "message": self.message,
+            "backoff_s": self.backoff_s,
+            "timed_out": self.timed_out,
+        }
+
+
+class EngineJobError(RuntimeError):
+    """A batch had jobs that failed after exhausting their retries."""
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} job(s) failed after retries:"]
+        for failure in self.failures:
+            suffix = " (timed out)" if failure.timed_out else ""
+            lines.append(
+                f"  {failure.label} [{failure.key[:12]}] — "
+                f"{failure.error_type}: {failure.message}"
+                f" ({failure.attempts} attempts{suffix})"
+            )
+        super().__init__("\n".join(lines))
 
 
 @dataclass
@@ -88,16 +156,42 @@ class ExperimentEngine:
     cache: Optional[ResultCache] = None
     stats: EngineStats = field(default_factory=EngineStats)
     metrics: Optional[MetricsRegistry] = None
+    #: Wall-clock budget per attempt; ``None`` disables the timeout.
+    job_timeout_s: Optional[float] = None
+    #: Total attempts per job before a structured failure is recorded.
+    max_job_attempts: int = 3
+    #: Base of the deterministic backoff accounting (never slept).
+    retry_backoff_s: float = 0.5
+    #: Checkpoint cadence (ticks) and per-job store root; see worker.
+    checkpoint_every: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    #: Resume interrupted jobs from their newest valid checkpoint.
+    resume: bool = False
+    #: Structured failure records accumulated over the engine's life.
+    failures: List[JobFailure] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_job_attempts < 1:
+            raise ValueError(
+                f"max_job_attempts must be >= 1, got {self.max_job_attempts}"
+            )
 
     @classmethod
     def from_config(cls, config: EngineConfig) -> "ExperimentEngine":
         """Build an engine from an :class:`repro.config.EngineConfig`."""
         cache = ResultCache(root=config.cache_dir) if config.use_cache else None
-        return cls(jobs=config.jobs, cache=cache)
+        return cls(
+            jobs=config.jobs,
+            cache=cache,
+            job_timeout_s=config.job_timeout_s,
+            max_job_attempts=config.max_job_attempts,
+            retry_backoff_s=config.retry_backoff_s,
+            checkpoint_every=config.checkpoint_every,
+            checkpoint_dir=config.checkpoint_dir,
+            resume=config.resume,
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -132,23 +226,244 @@ class ExperimentEngine:
                 self.stats.cache_misses += 1
             pending.append(index)
 
+        failures: List[JobFailure] = []
         if pending:
             self.stats.executed += len(pending)
+            jobs = {index: unique[index] for index in pending}
             if self.jobs == 1 or len(pending) == 1:
-                fresh = [execute_job(unique[i]) for i in pending]
+                outcomes, failures = self._execute_serial(jobs)
             else:
-                workers = min(self.jobs, len(pending))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(pool.map(execute_job, [unique[i] for i in pending]))
-            for index, summary in zip(pending, fresh):
+                outcomes, failures = self._execute_parallel(jobs)
+            for index, summary in sorted(outcomes.items()):
                 results[index] = summary
-                if self.cache is not None:
-                    self.cache.put(unique[index], summary)
+
+        if failures:
+            self.failures.extend(failures)
+            raise EngineJobError(failures)
 
         ordered = [results[slot] for slot in placement]
         if self.metrics is not None:
             self._fold_metrics(len(specs), len(pending), ordered)
         return ordered
+
+    # ------------------------------------------------------------------
+    # Hardened execution paths
+    # ------------------------------------------------------------------
+
+    def _worker_args(self) -> Tuple[Optional[int], Optional[str], bool]:
+        """Checkpoint settings forwarded to every ``execute_job`` call."""
+        return (self.checkpoint_every, self.checkpoint_dir, self.resume)
+
+    def _store(self, spec: JobSpec, summary: RunSummary) -> None:
+        """Persist one fresh result the moment it exists.
+
+        Caching per-arrival (instead of per-batch) means a crash of the
+        driver process loses at most the jobs still in flight.
+        """
+        if self.cache is not None:
+            self.cache.put(spec, summary)
+
+    def _failure(
+        self,
+        spec: JobSpec,
+        attempts: int,
+        duration_s: float,
+        error: BaseException,
+        backoff_s: float,
+        timed_out: bool = False,
+    ) -> JobFailure:
+        self.stats.failed += 1
+        return JobFailure(
+            key=job_key(spec),
+            label=spec.label,
+            attempts=attempts,
+            duration_s=duration_s,
+            error_type=type(error).__name__,
+            message=str(error) or type(error).__name__,
+            backoff_s=backoff_s,
+            timed_out=timed_out,
+        )
+
+    def _backoff_for(self, attempt: int) -> float:
+        """Deterministic exponential backoff charged to ``attempt``.
+
+        Accounting only — the engine never sleeps, so retried batches
+        stay deterministic and tests stay fast; the figure is recorded
+        in the failure record as the delay a live deployment would have
+        waited.
+        """
+        return self.retry_backoff_s * 2 ** (attempt - 1)
+
+    def _execute_serial(
+        self, jobs: Dict[int, JobSpec]
+    ) -> Tuple[Dict[int, RunSummary], List[JobFailure]]:
+        """Inline execution with bounded retries (no timeout machinery:
+        a hung job in-process would hang the caller regardless)."""
+        outcomes: Dict[int, RunSummary] = {}
+        failures: List[JobFailure] = []
+        for index in sorted(jobs):
+            spec = jobs[index]
+            attempts = 0
+            backoff_total = 0.0
+            started = time.perf_counter()
+            while True:
+                attempts += 1
+                try:
+                    summary = execute_job(spec, *self._worker_args())
+                except Exception as error:
+                    if attempts >= self.max_job_attempts:
+                        failures.append(
+                            self._failure(
+                                spec,
+                                attempts,
+                                time.perf_counter() - started,
+                                error,
+                                backoff_total,
+                            )
+                        )
+                        break
+                    self.stats.retried += 1
+                    backoff_total += self._backoff_for(attempts)
+                    continue
+                outcomes[index] = summary
+                self._store(spec, summary)
+                break
+        return outcomes, failures
+
+    def _execute_parallel(
+        self, jobs: Dict[int, JobSpec]
+    ) -> Tuple[Dict[int, RunSummary], List[JobFailure]]:
+        """Submit-based fan-out with timeouts, retries and pool recovery.
+
+        Unlike ``pool.map``, each job is tracked individually: a worker
+        exception burns one attempt and requeues the job; an attempt
+        exceeding ``job_timeout_s`` gets its worker killed (terminating
+        the pool — sibling jobs are requeued without burning attempts);
+        a ``BrokenProcessPool`` respawns the pool and requeues only the
+        jobs that were in flight.
+        """
+        workers = min(self.jobs, len(jobs))
+        outcomes: Dict[int, RunSummary] = {}
+        failures: List[JobFailure] = []
+        attempts: Dict[int, int] = {index: 0 for index in jobs}
+        backoff: Dict[int, float] = {index: 0.0 for index in jobs}
+        started: Dict[int, float] = {}
+        queue: deque = deque(sorted(jobs))
+        inflight: Dict[object, Tuple[int, float]] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+        def attempt_failed(index: int, error: BaseException, timed_out: bool) -> None:
+            if attempts[index] >= self.max_job_attempts:
+                failures.append(
+                    self._failure(
+                        jobs[index],
+                        attempts[index],
+                        time.perf_counter() - started[index],
+                        error,
+                        backoff[index],
+                        timed_out=timed_out,
+                    )
+                )
+            else:
+                self.stats.retried += 1
+                backoff[index] += self._backoff_for(attempts[index])
+                queue.append(index)
+
+        def respawn_pool() -> None:
+            nonlocal pool
+            self.stats.pool_restarts += 1
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            pool = ProcessPoolExecutor(max_workers=workers)
+
+        def requeue_inflight(charge_attempt: bool) -> None:
+            for future, (index, _submitted) in list(inflight.items()):
+                del inflight[future]
+                if not charge_attempt:
+                    # Collateral of a sibling's timeout kill or a pool
+                    # crash attributed elsewhere: give the attempt back.
+                    attempts[index] -= 1
+                queue.append(index)
+
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < workers:
+                    index = queue.popleft()
+                    attempts[index] += 1
+                    now = time.perf_counter()
+                    started.setdefault(index, now)
+                    try:
+                        future = pool.submit(
+                            execute_job, jobs[index], *self._worker_args()
+                        )
+                    except BrokenProcessPool:
+                        # Pool died between batches of submissions.
+                        attempts[index] -= 1
+                        queue.appendleft(index)
+                        requeue_inflight(charge_attempt=False)
+                        respawn_pool()
+                        continue
+                    inflight[future] = (index, now)
+                poll = _TIMEOUT_POLL_S if self.job_timeout_s is not None else None
+                done, _ = wait(
+                    set(inflight), timeout=poll, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for future in done:
+                    index, _submitted = inflight.pop(future)
+                    try:
+                        summary = future.result()
+                    except BrokenProcessPool as error:
+                        # The pool died under this job (or a sibling);
+                        # charge this job the attempt, requeue the rest
+                        # for free, and start a fresh pool.
+                        broken = True
+                        attempt_failed(index, error, timed_out=False)
+                    except Exception as error:
+                        attempt_failed(index, error, timed_out=False)
+                    else:
+                        outcomes[index] = summary
+                        self._store(jobs[index], summary)
+                if broken:
+                    requeue_inflight(charge_attempt=False)
+                    respawn_pool()
+                    continue
+                if self.job_timeout_s is not None and inflight:
+                    now = time.perf_counter()
+                    expired = [
+                        (future, index)
+                        for future, (index, submitted) in sorted(
+                            inflight.items(), key=lambda item: item[1][0]
+                        )
+                        if now - submitted >= self.job_timeout_s
+                        and not future.done()
+                    ]
+                    if expired:
+                        for future, index in expired:
+                            del inflight[future]
+                            self.stats.timeouts += 1
+                            attempt_failed(
+                                index,
+                                TimeoutError(
+                                    f"attempt exceeded {self.job_timeout_s:g} s"
+                                ),
+                                timed_out=True,
+                            )
+                        # Killing a worker mid-job requires killing the
+                        # pool; jobs caught in the blast radius are
+                        # requeued without burning an attempt.
+                        requeue_inflight(charge_attempt=False)
+                        respawn_pool()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return outcomes, failures
 
     def _fold_metrics(
         self, submitted: int, executed: int, ordered: Sequence[RunSummary]

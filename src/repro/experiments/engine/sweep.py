@@ -19,7 +19,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.ablation import run_ablation
 from repro.experiments.engine.cache import artifact_dir
-from repro.experiments.engine.scheduler import EngineStats, ExperimentEngine
+from repro.experiments.engine.scheduler import (
+    EngineJobError,
+    EngineStats,
+    ExperimentEngine,
+    JobFailure,
+)
+from repro.ioutil import atomic_write_text
 from repro.obs.metrics import MetricsRegistry
 from repro.experiments.fault_tolerance import run_fault_tolerance
 from repro.experiments.fig1_motivation import run_fig1
@@ -68,6 +74,13 @@ class SweepReport:
     elapsed_s: float = 0.0
     #: The engine's metrics registry, when one was attached.
     metrics: Optional[MetricsRegistry] = None
+    #: Artefacts that failed, with their structured job failures.
+    failed_artefacts: Dict[str, List[JobFailure]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every requested artefact regenerated successfully."""
+        return not self.failed_artefacts
 
     def summary_lines(self) -> List[str]:
         """Human-readable closing summary for the CLI."""
@@ -83,6 +96,24 @@ class SweepReport:
             f"cache misses: {stats.get('cache_misses', 0)}, "
             f"deduplicated: {stats.get('deduplicated', 0)}"
         )
+        retried = stats.get("retried", 0)
+        timeouts = stats.get("timeouts", 0)
+        restarts = stats.get("pool_restarts", 0)
+        if retried or timeouts or restarts:
+            lines.append(
+                f"recovered: {retried} retried attempt(s), "
+                f"{timeouts} timeout(s), {restarts} pool restart(s)"
+            )
+        for name, job_failures in sorted(self.failed_artefacts.items()):
+            lines.append(f"FAILED {name}: {len(job_failures)} job(s) gave up")
+            for failure in job_failures:
+                suffix = ", timed out" if failure.timed_out else ""
+                lines.append(
+                    f"  {failure.label} [{failure.key[:12]}] "
+                    f"{failure.error_type}: {failure.message} "
+                    f"({failure.attempts} attempts, "
+                    f"{failure.duration_s:.1f} s{suffix})"
+                )
         return lines
 
 
@@ -129,12 +160,20 @@ def regenerate_all(
         if progress is not None:
             progress(f"regenerating {name} ...")
         start = time.perf_counter()
-        result = ARTEFACTS[name](
-            iteration_scale=iteration_scale, seed=seed, engine=engine
-        )
+        try:
+            result = ARTEFACTS[name](
+                iteration_scale=iteration_scale, seed=seed, engine=engine
+            )
+        except EngineJobError as error:
+            # One artefact's exhausted jobs must not abort the campaign:
+            # record the structured failures and move to the next one.
+            report.failed_artefacts[name] = list(error.failures)
+            if progress is not None:
+                progress(f"FAILED {name}: {len(error.failures)} job(s) gave up")
+            continue
         text = result.format_table()
         path = output_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        atomic_write_text(path, text + "\n")
         report.runs.append(
             ArtefactRun(
                 name=name,

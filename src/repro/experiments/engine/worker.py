@@ -7,12 +7,56 @@ process only imports what one simulation needs.
 
 from __future__ import annotations
 
-from repro.experiments.engine.spec import JobSpec
+import shutil
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments.engine.spec import JobSpec, job_key
 from repro.experiments.runner import RunSummary, run_scenario, run_workload
 
 
-def execute_job(spec: JobSpec) -> RunSummary:
-    """Execute one job spec serially in this process."""
+def job_checkpoint_dir(checkpoint_root: Union[str, Path], spec: JobSpec) -> Path:
+    """Per-job checkpoint directory, keyed by the spec's content hash."""
+    return Path(checkpoint_root) / job_key(spec)[:16]
+
+
+def execute_job(
+    spec: JobSpec,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_root: Optional[str] = None,
+    resume: bool = False,
+) -> RunSummary:
+    """Execute one job spec serially in this process.
+
+    Parameters
+    ----------
+    spec:
+        The job to run.  Checkpoint settings deliberately do NOT live on
+        the spec: they change crash-recovery behaviour, never results,
+        so cache keys stay stable with or without checkpointing.
+    checkpoint_every / checkpoint_root / resume:
+        When ``checkpoint_root`` is given, the simulation snapshots its
+        full state every ``checkpoint_every`` ticks into a per-job
+        directory (keyed by the spec hash) and, with ``resume``,
+        restarts from the newest valid checkpoint there.  The directory
+        is removed once the job completes.
+    """
+    checkpoint_dir: Optional[str] = None
+    if checkpoint_root is not None:
+        checkpoint_dir = str(job_checkpoint_dir(checkpoint_root, spec))
+    summary = _execute(spec, checkpoint_every, checkpoint_dir, resume)
+    if checkpoint_dir is not None:
+        # The job finished; its checkpoints have served their purpose.
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    return summary
+
+
+def _execute(
+    spec: JobSpec,
+    checkpoint_every: Optional[int],
+    checkpoint_dir: Optional[str],
+    resume: bool,
+) -> RunSummary:
     if spec.kind == "workload":
         kwargs = dict(
             app=spec.app,
@@ -29,6 +73,9 @@ def execute_job(spec: JobSpec) -> RunSummary:
             iteration_scale=spec.iteration_scale,
             faults=spec.faults,
             supervisor=spec.supervisor,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         if spec.max_time_s is not None:
             kwargs["max_time_s"] = spec.max_time_s
@@ -46,6 +93,9 @@ def execute_job(spec: JobSpec) -> RunSummary:
             iteration_scale=spec.iteration_scale,
             faults=spec.faults,
             supervisor=spec.supervisor,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
         )
         if spec.max_time_s is not None:
             kwargs["max_time_s"] = spec.max_time_s

@@ -50,6 +50,52 @@ POLICIES: Tuple[str, ...] = (
 WARMUP_SKIP_S = 60.0
 
 
+def _setup_checkpointing(
+    sim: Simulation,
+    checkpoint_every: Optional[int],
+    checkpoint_dir,
+    resume,
+) -> bool:
+    """Attach periodic checkpointing and/or resume ``sim`` in place.
+
+    Parameters
+    ----------
+    sim:
+        A freshly constructed (unprepared) simulation.
+    checkpoint_every:
+        Checkpoint cadence in ticks; ``None``/0 disables snapshotting.
+    checkpoint_dir:
+        Checkpoint directory; ``None`` disables the whole feature.
+    resume:
+        ``True`` to resume from the newest valid checkpoint in
+        ``checkpoint_dir``, or a path to a specific checkpoint file.
+        Corrupted checkpoints degrade to the previous valid one; with
+        nothing valid the run simply starts from scratch.
+
+    Returns whether the simulation was actually resumed.
+    """
+    if checkpoint_dir is None:
+        return False
+    # Imported lazily so the experiment harness has no hard dependency
+    # on the checkpoint layer for ordinary (checkpoint-free) runs.
+    from repro.checkpoint import CheckpointStore, Checkpointer, resume_simulation
+
+    store = CheckpointStore(checkpoint_dir)
+    checkpointer = None
+    if checkpoint_every:
+        checkpointer = Checkpointer(store, checkpoint_every)
+        sim.attach_checkpointer(checkpointer)
+    if not resume:
+        return False
+    explicit = resume if not isinstance(resume, bool) else None
+    loaded = resume_simulation(sim, store, checkpoint=explicit)
+    if loaded is None:
+        return False
+    if checkpointer is not None:
+        checkpointer.note_resumed(loaded)
+    return True
+
+
 def _validate_policy(policy: str) -> None:
     """Reject unknown policy names before any simulation work starts.
 
@@ -222,6 +268,9 @@ def run_workload(
     faults: Optional[FaultConfig] = None,
     supervisor: Optional[SupervisorConfig] = None,
     instrumentation=None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
+    resume=False,
 ) -> RunSummary:
     """Run one application under one policy (train + measure).
 
@@ -256,6 +305,12 @@ def run_workload(
     instrumentation:
         Optional observation-only :class:`repro.obs.Instrumentation`
         hook; attaching it never changes the run's trajectory.
+    checkpoint_every / checkpoint_dir / resume:
+        Crash tolerance: snapshot the full simulation closure every
+        ``checkpoint_every`` ticks into ``checkpoint_dir``, and/or
+        resume from the newest valid checkpoint there (``resume=True``)
+        or from an explicit checkpoint file (``resume=<path>``).  A
+        resumed run is byte-identical to an uninterrupted one.
     """
     _validate_policy(policy)
     reliability = (
@@ -283,6 +338,7 @@ def run_workload(
         supervisor=supervisor,
         instrumentation=instrumentation,
     )
+    _setup_checkpointing(sim, checkpoint_every, checkpoint_dir, resume)
     result = sim.run()
     measured = result.app_records[train_passes:]
     if measured:
@@ -343,6 +399,9 @@ def run_scenario(
     faults: Optional[FaultConfig] = None,
     supervisor: Optional[SupervisorConfig] = None,
     instrumentation=None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
+    resume=False,
 ) -> RunSummary:
     """Run an inter-application scenario (Figure 3).
 
@@ -373,6 +432,7 @@ def run_scenario(
         supervisor=supervisor,
         instrumentation=instrumentation,
     )
+    _setup_checkpointing(sim, checkpoint_every, checkpoint_dir, resume)
     result = sim.run()
     if result.total_time_s <= WARMUP_SKIP_S:
         raise ValueError(

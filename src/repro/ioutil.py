@@ -1,0 +1,68 @@
+"""Durable file-writing helpers shared by every artefact writer.
+
+A result that took minutes of simulation to produce must never be lost
+to a half-written file: a crash (or SIGKILL) between ``open`` and
+``close`` would otherwise leave a truncated JSON/pickle that poisons the
+next run.  :func:`atomic_write` provides the standard recipe — write to
+a temporary file in the *same directory*, flush, ``fsync``, then
+``os.replace`` — so readers observe either the old content or the new
+content, never a prefix of it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, IO, Union
+
+
+def atomic_write(
+    path: Union[str, Path],
+    writer: Callable[[IO[bytes]], None],
+) -> None:
+    """Atomically create/replace ``path`` with content produced by ``writer``.
+
+    Parameters
+    ----------
+    path:
+        Destination file.  Parent directories are created if missing.
+    writer:
+        Callback receiving a binary file object opened for writing; it
+        must write the complete content.  The temporary file lives in
+        the destination's directory so the final ``os.replace`` stays on
+        one filesystem (rename atomicity).
+
+    The sequence is: write to temp file → flush → ``os.fsync`` →
+    ``os.replace``.  On any failure the temp file is removed and the
+    destination is left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=str(target.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically write raw bytes to ``path``."""
+    atomic_write(path, lambda handle: handle.write(data))
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically write ``text`` to ``path`` (durable ``write_text``)."""
+    atomic_write_bytes(path, text.encode(encoding))

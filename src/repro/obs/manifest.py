@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 import repro
+from repro.ioutil import atomic_write_text
 
 #: Version of the manifest document layout.
 MANIFEST_SCHEMA_VERSION = 1
@@ -121,7 +122,9 @@ class RunManifest:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / MANIFEST_FILENAME
-        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            path, json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
         return path
 
 

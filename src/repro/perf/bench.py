@@ -25,6 +25,7 @@ import time
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.experiments.runner import _make_app, build_manager
+from repro.ioutil import atomic_write_text
 from repro.perf.timer import SectionTimer
 from repro.soc.simulator import Simulation
 
@@ -218,10 +219,12 @@ def format_report(report: Dict[str, Any]) -> str:
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
-    """Write a bench report as stable, diff-friendly JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a bench report as stable, diff-friendly JSON.
+
+    Written atomically (temp file + fsync + rename) so an interrupted
+    benchmark never leaves a truncated ``BENCH_*.json`` behind.
+    """
+    atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
 def load_report(path: str) -> Dict[str, Any]:

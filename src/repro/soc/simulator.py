@@ -252,6 +252,11 @@ class Simulation:
                 faults, self.platform.num_cores, seed=seed
             )
         self._timer: Optional[SectionTimer] = None
+        # Duck-typed checkpoint hook (repro.checkpoint.Checkpointer);
+        # kept untyped so the core simulator never imports the
+        # checkpoint layer.
+        self._checkpointer = None
+        self._resume_armed = False
         self._sensor_supervisor: Optional[SensorSupervisor] = None
         self._actuation_supervisor: Optional[ActuationSupervisor] = None
         self._next_watchdog_s = 0.0
@@ -537,6 +542,21 @@ class Simulation:
         self._timer = timer
         self.chip.attach_timer(timer)
 
+    def attach_checkpointer(self, checkpointer) -> None:
+        """Attach (or detach, with None) a tick-boundary checkpointer.
+
+        The hook's ``maybe_checkpoint(self)`` is called at the bottom of
+        every run-loop iteration.  Checkpointing is observation-only: it
+        draws no randomness and mutates nothing, so a checkpointed run
+        is bit-identical to a checkpoint-free one.
+        """
+        self._checkpointer = checkpointer
+
+    @property
+    def tick_index(self) -> int:
+        """Completed ticks since the start of the run."""
+        return int(round(self.now / self._dt))
+
     def step(self) -> None:
         """Advance the whole system by one tick."""
         timer = self._timer
@@ -623,7 +643,15 @@ class Simulation:
     def run(self) -> SimulationResult:
         """Execute every application to completion and build the result."""
         completed = True
-        self.prepare()
+        if self._resume_armed:
+            # A restored snapshot already carries a fully prepared
+            # engine (restore ran prepare() and overwrote its state);
+            # re-preparing would emit a second run_start and restart
+            # the first application.
+            self._resume_armed = False
+        else:
+            self.prepare()
+        checkpointer = self._checkpointer
         while True:
             app = self.current_app
             self.step()
@@ -631,11 +659,12 @@ class Simulation:
                 self._finish_app(app, completed=True)
                 if not self._start_next_app():
                     break
-                continue
-            if self.max_time_s is not None and self.now >= self.max_time_s:
+            elif self.max_time_s is not None and self.now >= self.max_time_s:
                 self._finish_app(app, completed=False)
                 completed = False
                 break
+            if checkpointer is not None:
+                checkpointer.maybe_checkpoint(self)
         supervisor_stats: Dict[str, float] = {}
         if self._sensor_supervisor is not None:
             supervisor_stats.update(self._sensor_supervisor.stats())

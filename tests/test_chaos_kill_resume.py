@@ -1,0 +1,133 @@
+"""Chaos test: SIGKILL a real ``repro run`` and resume it.
+
+The strongest form of the crash-tolerance guarantee: an actual child
+process, killed with an uncatchable signal at a (randomly chosen)
+checkpoint boundary, then resumed with ``--resume`` — and every artefact
+it writes (``trace.jsonl``, ``result.json``) is byte-identical to an
+uninterrupted reference run.
+"""
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+#: Arguments shared by the victim and the reference run.
+RUN_ARGS = [
+    "run",
+    "tachyon",
+    "--scale",
+    "0.05",
+    "--seed",
+    "5",
+    "--policy",
+    "proposed",
+    "--faults",
+    "both",
+    "--supervised",
+    "--trace",
+    "--checkpoint-every",
+    "150",
+]
+
+#: The randomness of "a random checkpoint boundary" — seeded so a
+#: failure reproduces, per the repo's determinism policy.
+KILL_AFTER_CHECKPOINTS = random.Random(0xC0FFEE).randint(1, 2)
+
+
+def _repro(extra, cwd, wait=True):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    command = [sys.executable, "-m", "repro.cli"] + RUN_ARGS + extra
+    if wait:
+        return subprocess.run(
+            command, cwd=cwd, env=env, capture_output=True, text=True
+        )
+    return subprocess.Popen(
+        command,
+        cwd=cwd,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_checkpoints(ckpt_dir: Path, count: int, process, deadline_s=120.0):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        if len(list(ckpt_dir.glob("ckpt-*.json"))) >= count:
+            return True
+        if process.poll() is not None:
+            return False
+        time.sleep(0.005)
+    return False
+
+
+def test_sigkill_then_resume_is_byte_identical(tmp_path):
+    # 1. Uninterrupted reference run.
+    ref_dir = tmp_path / "ref"
+    ref_dir.mkdir()
+    done = _repro(
+        ["--checkpoint-dir", "ck", "--obs-dir", "obs"], cwd=ref_dir
+    )
+    assert done.returncode == 0, done.stderr
+
+    # 2. Victim run: SIGKILL it once enough checkpoints exist.
+    victim_dir = tmp_path / "victim"
+    victim_dir.mkdir()
+    victim = _repro(
+        ["--checkpoint-dir", "ck", "--obs-dir", "obs"], cwd=victim_dir, wait=False
+    )
+    try:
+        reached = _wait_for_checkpoints(
+            victim_dir / "ck", KILL_AFTER_CHECKPOINTS, victim
+        )
+        assert reached, "victim finished before it could be killed"
+        os.kill(victim.pid, signal.SIGKILL)
+    finally:
+        victim.wait(timeout=60)
+    assert victim.returncode == -signal.SIGKILL
+
+    # The kill left no observability artefacts behind (it died mid-run)
+    # but did leave a usable checkpoint chain.
+    assert list((victim_dir / "ck").glob("ckpt-*.json"))
+
+    # 3. Resume the victim to completion.
+    resumed = _repro(
+        ["--checkpoint-dir", "ck", "--obs-dir", "obs", "--resume"],
+        cwd=victim_dir,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+
+    # 4. Byte-identity of every run artefact.
+    for name in ("trace.jsonl", "result.json"):
+        ref_bytes = (ref_dir / "obs" / name).read_bytes()
+        victim_bytes = (victim_dir / "obs" / name).read_bytes()
+        assert victim_bytes == ref_bytes, (
+            f"{name} of the killed+resumed run differs from the reference"
+        )
+
+    # The headline summary printed to stdout matches too.
+    assert resumed.stdout.splitlines()[:8] == done.stdout.splitlines()[:8]
+
+
+def test_resume_with_empty_store_runs_from_scratch(tmp_path):
+    """``--resume`` against an empty checkpoint directory is a plain
+    run, not an error — graceful degradation all the way down."""
+    run_dir = tmp_path / "fresh"
+    run_dir.mkdir()
+    done = _repro(
+        ["--checkpoint-dir", "ck", "--obs-dir", "obs", "--resume"],
+        cwd=run_dir,
+    )
+    assert done.returncode == 0, done.stderr
+    assert json.loads((run_dir / "obs" / "result.json").read_text())["summary"][
+        "completed"
+    ]

@@ -1,0 +1,125 @@
+"""Property-based round-trip tests of the checkpoint state capture.
+
+The capture/restore pair must be lossless for every stateful component
+of the simulation closure: capturing a live object, restoring the
+snapshot into a freshly built twin, and capturing again must reproduce
+the snapshot bit-for-bit (via the canonical JSON encoding, which also
+proves every snapshot is JSON-serializable).  Hypothesis drives the
+objects to arbitrary mid-run states first, so the property holds for
+more than the pristine post-``prepare`` state.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import (
+    capture_agent,
+    capture_chip,
+    capture_fault_injector,
+    capture_rng_state,
+    capture_simulation,
+    restore_rng_state,
+    restore_simulation,
+    serialize_checkpoint,
+)
+from repro.checkpoint.state import (
+    restore_agent,
+    restore_chip,
+    restore_fault_injector,
+)
+from repro.config import FaultConfig, default_agent_config, default_reliability_config
+from repro.core.manager import ProposedThermalManager
+from repro.soc.simulator import Simulation
+from repro.workloads.alpbench import make_application
+
+
+def _canonical(state) -> bytes:
+    return serialize_checkpoint({"state": state})
+
+
+def _build_sim(seed: int, policy: str = "linux", faults: bool = False) -> Simulation:
+    manager = None
+    if policy == "proposed":
+        manager = ProposedThermalManager(
+            default_agent_config(), default_reliability_config()
+        )
+    return Simulation(
+        [make_application("tachyon", None, seed=seed)],
+        manager=manager,
+        seed=seed,
+        faults=FaultConfig(enabled=True) if faults else None,
+        max_time_s=20000.0,
+    )
+
+
+def _stepped_sim(seed: int, ticks: int, policy: str = "linux", faults: bool = False):
+    sim = _build_sim(seed, policy=policy, faults=faults)
+    sim.prepare()
+    for _ in range(ticks):
+        sim.step()
+    return sim
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=64))
+@settings(max_examples=20, deadline=None)
+def test_rng_state_round_trip(seed, draws):
+    source = np.random.Generator(np.random.PCG64(seed))
+    source.random(draws)
+    state = _canonical(capture_rng_state(source))
+
+    target = np.random.Generator(np.random.PCG64(0))
+    restore_rng_state(target, capture_rng_state(source))
+    assert _canonical(capture_rng_state(target)) == state
+    # Restored streams continue identically.
+    assert target.random(8).tolist() == source.random(8).tolist()
+
+
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=300))
+@settings(max_examples=6, deadline=None)
+def test_chip_state_round_trip(seed, ticks):
+    sim = _stepped_sim(seed, ticks)
+    state = capture_chip(sim.chip)
+
+    twin = _build_sim(seed)
+    twin.prepare()
+    restore_chip(twin.chip, state)
+    assert _canonical(capture_chip(twin.chip)) == _canonical(state)
+
+
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=300))
+@settings(max_examples=6, deadline=None)
+def test_fault_injector_state_round_trip(seed, ticks):
+    sim = _stepped_sim(seed, ticks, faults=True)
+    state = capture_fault_injector(sim._fault_injector)
+
+    twin = _build_sim(seed, faults=True)
+    twin.prepare()
+    restore_fault_injector(twin._fault_injector, state)
+    assert _canonical(capture_fault_injector(twin._fault_injector)) == _canonical(
+        state
+    )
+
+
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=400))
+@settings(max_examples=5, deadline=None)
+def test_agent_state_round_trip(seed, ticks):
+    sim = _stepped_sim(seed, ticks, policy="proposed")
+    agent = sim.manager.agent
+    state = capture_agent(agent)
+
+    twin = _build_sim(seed, policy="proposed")
+    twin.prepare()
+    restore_agent(twin.manager.agent, state)
+    assert _canonical(capture_agent(twin.manager.agent)) == _canonical(state)
+
+
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=250))
+@settings(max_examples=4, deadline=None)
+def test_full_simulation_round_trip(seed, ticks):
+    sim = _stepped_sim(seed, ticks, policy="proposed", faults=True)
+    state = capture_simulation(sim)
+
+    twin = _build_sim(seed, policy="proposed", faults=True)
+    restore_simulation(twin, state)
+    assert _canonical(capture_simulation(twin)) == _canonical(state)

@@ -1,0 +1,189 @@
+"""Tests for the content-addressed checkpoint store.
+
+Covers the storage-layer half of the crash-tolerance guarantee: the
+canonical serialization is stable, every load re-verifies the content
+digest, and corruption of any checkpoint — or of the manifest chain
+itself — degrades to the previous valid checkpoint instead of crashing.
+"""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointStore,
+    checkpoint_digest,
+    load_checkpoint_file,
+    serialize_checkpoint,
+)
+from repro.checkpoint.store import CHAIN_FILENAME
+
+
+def _filled_store(root, ticks=(100, 200, 300)):
+    store = CheckpointStore(root)
+    parent = None
+    for tick in ticks:
+        record = store.save(
+            {"tick_payload": tick, "nested": {"values": [1, 2, tick]}},
+            tick=tick,
+            now=tick * 0.01,
+            parent=parent,
+        )
+        parent = record.digest
+    return store
+
+
+# ---------------------------------------------------------------------------
+# Serialization and single-file loading
+# ---------------------------------------------------------------------------
+
+
+def test_serialization_is_canonical():
+    doc = {"b": 2, "a": 1, "nested": {"z": [3, 1], "y": None}}
+    shuffled = {"nested": {"y": None, "z": [3, 1]}, "a": 1, "b": 2}
+    assert serialize_checkpoint(doc) == serialize_checkpoint(shuffled)
+    assert checkpoint_digest(serialize_checkpoint(doc)) == checkpoint_digest(
+        serialize_checkpoint(shuffled)
+    )
+
+
+def test_save_load_round_trip(tmp_path):
+    store = _filled_store(tmp_path)
+    entries = store.entries()
+    assert [entry.tick for entry in entries] == [100, 200, 300]
+    # Each entry's parent pointer is the previous entry's digest.
+    assert entries[0].parent is None
+    assert entries[1].parent == entries[0].digest
+    assert entries[2].parent == entries[1].digest
+    loaded = store.load_record(entries[1])
+    assert loaded.tick == 200
+    assert loaded.state == {"tick_payload": 200, "nested": {"values": [1, 2, 200]}}
+
+
+def test_load_rejects_digest_mismatch(tmp_path):
+    store = _filled_store(tmp_path)
+    record = store.entries()[-1]
+    path = tmp_path / record.file
+    data = json.loads(path.read_text())
+    data["state"]["tick_payload"] = -1
+    path.write_text(json.dumps(data))
+    with pytest.raises(CheckpointError, match="digest"):
+        load_checkpoint_file(path)
+
+
+def test_load_rejects_truncation_and_schema_mismatch(tmp_path):
+    store = _filled_store(tmp_path)
+    records = store.entries()
+    truncated = tmp_path / records[0].file
+    truncated.write_bytes(truncated.read_bytes()[:-20])
+    with pytest.raises(CheckpointError):
+        load_checkpoint_file(truncated)
+    future = {"schema": CHECKPOINT_SCHEMA_VERSION + 1, "tick": 1, "state": {}}
+    other = tmp_path / "other.json"
+    other.write_bytes(serialize_checkpoint(future))
+    with pytest.raises(CheckpointError, match="schema"):
+        load_checkpoint_file(other)
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+
+
+def test_latest_valid_returns_newest(tmp_path):
+    store = _filled_store(tmp_path)
+    assert store.latest_valid().tick == 300
+
+
+def test_corrupt_newest_degrades_to_previous(tmp_path):
+    store = _filled_store(tmp_path)
+    newest = store.entries()[-1]
+    (tmp_path / newest.file).write_bytes(b"garbage")
+    assert store.latest_valid().tick == 200
+
+
+def test_missing_newest_degrades_to_previous(tmp_path):
+    store = _filled_store(tmp_path)
+    newest = store.entries()[-1]
+    (tmp_path / newest.file).unlink()
+    assert store.latest_valid().tick == 200
+
+
+def test_corrupt_chain_falls_back_to_files(tmp_path):
+    store = _filled_store(tmp_path)
+    (tmp_path / CHAIN_FILENAME).write_text("{not json")
+    assert store.entries() == []
+    assert store.latest_valid().tick == 300
+
+
+def test_everything_corrupt_yields_none(tmp_path):
+    store = _filled_store(tmp_path)
+    for record in store.entries():
+        (tmp_path / record.file).write_bytes(b"zap")
+    (tmp_path / CHAIN_FILENAME).write_bytes(b"zap")
+    assert store.latest_valid() is None
+
+
+def test_empty_directory_yields_none(tmp_path):
+    assert CheckpointStore(tmp_path / "nowhere").latest_valid() is None
+
+
+def test_resaving_a_tick_replaces_the_chain_entry(tmp_path):
+    store = _filled_store(tmp_path)
+    store.save({"tick_payload": 300, "resumed": True}, tick=300, now=3.0)
+    ticks = [entry.tick for entry in store.entries()]
+    assert ticks == [100, 200, 300]
+    assert store.latest_valid().state == {"tick_payload": 300, "resumed": True}
+
+
+# ---------------------------------------------------------------------------
+# Auditing and retention
+# ---------------------------------------------------------------------------
+
+
+def test_verify_reports_health_and_orphans(tmp_path):
+    store = _filled_store(tmp_path)
+    records = store.entries()
+    (tmp_path / records[1].file).write_bytes(b"garbage")
+    orphan = store.save({"o": 1}, tick=999, now=9.9)
+    # Drop the orphan from the chain but keep its file on disk.
+    store._write_chain(records)
+    reports = {report["file"]: report for report in store.verify()}
+    assert reports[records[0].file]["status"] == "ok"
+    assert reports[records[0].file]["chain_ok"] is True
+    assert reports[records[1].file]["status"] == "corrupt"
+    assert reports[records[2].file]["status"] == "ok"
+    assert reports[orphan.file]["status"] == "orphan"
+    assert reports[orphan.file]["chain_ok"] is False
+
+
+def test_verify_flags_missing_files(tmp_path):
+    store = _filled_store(tmp_path)
+    records = store.entries()
+    (tmp_path / records[0].file).unlink()
+    reports = {report["file"]: report for report in store.verify()}
+    assert reports[records[0].file]["status"] == "missing"
+    assert reports[records[0].file]["bytes"] is None
+
+
+def test_prune_keeps_newest_valid(tmp_path):
+    store = _filled_store(tmp_path, ticks=(10, 20, 30, 40))
+    removed = store.prune(keep=2)
+    assert sorted(record.tick for record in removed) == [10, 20]
+    assert [entry.tick for entry in store.entries()] == [30, 40]
+    assert len(list(tmp_path.glob("ckpt-*.json"))) == 2
+
+
+def test_prune_drops_invalid_entries_first(tmp_path):
+    store = _filled_store(tmp_path)
+    newest = store.entries()[-1]
+    (tmp_path / newest.file).write_bytes(b"garbage")
+    store.prune(keep=2)
+    assert [entry.tick for entry in store.entries()] == [100, 200]
+
+
+def test_prune_rejects_nonpositive_keep(tmp_path):
+    with pytest.raises(ValueError):
+        _filled_store(tmp_path).prune(keep=0)

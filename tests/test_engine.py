@@ -213,6 +213,10 @@ def test_cache_miss_then_hit_accounting(tmp_path):
         "cache_hits": 1,
         "cache_misses": 1,
         "deduplicated": 0,
+        "retried": 0,
+        "failed": 0,
+        "timeouts": 0,
+        "pool_restarts": 0,
     }
     assert cache.stats.hits == 1
     assert cache.stats.misses == 1

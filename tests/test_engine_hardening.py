@@ -1,0 +1,284 @@
+"""Tests for the fault-hardened experiment engine.
+
+Covers the reliability half of the engine contract: worker exceptions
+burn bounded retries with deterministic backoff accounting, hung
+attempts are killed by the per-job timeout, a crashed worker pool is
+respawned with only the unfinished jobs requeued, and jobs that exhaust
+every attempt surface as structured :class:`JobFailure` records instead
+of a bare traceback — without aborting the rest of the campaign.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.engine.scheduler as scheduler_module
+from repro.config import EngineConfig
+from repro.experiments.engine import ExperimentEngine, job_key, workload_job
+from repro.experiments.engine.scheduler import EngineJobError, JobFailure
+from repro.experiments.engine import sweep as sweep_module
+
+
+def _specs(count):
+    return [workload_job("tachyon", None, "linux", seed=100 + i) for i in range(count)]
+
+
+# Worker stand-ins must be module-level so a ProcessPoolExecutor can
+# pickle them by reference.
+
+
+def _ok(spec, *args):
+    return ("done", spec.seed)
+
+
+def _fail_seed_999(spec, *args):
+    if spec.seed == 999:
+        raise RuntimeError("worker exploded")
+    return ("done", spec.seed)
+
+
+def _sleep_forever(spec, *args):
+    time.sleep(300)
+
+
+def _die_once(spec, *args):
+    marker = Path(os.environ["HARDENING_DIE_ONCE_MARKER"])
+    if not marker.exists():
+        marker.write_text("died")
+        os._exit(3)
+    return ("revived", spec.seed)
+
+
+class _FlakyThenOk:
+    """In-process flaky worker: fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures):
+        self.remaining = failures
+
+    def __call__(self, spec, *args):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise ValueError("transient wobble")
+        return ("done", spec.seed)
+
+
+# ---------------------------------------------------------------------------
+# Serial path: retries and structured failures
+# ---------------------------------------------------------------------------
+
+
+def test_flaky_job_is_retried_to_success(monkeypatch):
+    monkeypatch.setattr(scheduler_module, "execute_job", _FlakyThenOk(2))
+    engine = ExperimentEngine(max_job_attempts=3)
+    [result] = engine.run(_specs(1))
+    assert result == ("done", 100)
+    assert engine.stats.retried == 2
+    assert engine.stats.failed == 0
+    assert engine.failures == []
+
+
+def test_exhausted_job_raises_structured_failure(monkeypatch):
+    monkeypatch.setattr(scheduler_module, "execute_job", _FlakyThenOk(10))
+    engine = ExperimentEngine(max_job_attempts=3, retry_backoff_s=0.5)
+    spec = _specs(1)[0]
+    with pytest.raises(EngineJobError) as excinfo:
+        engine.run([spec])
+    [failure] = excinfo.value.failures
+    assert failure.key == job_key(spec)
+    assert failure.label == spec.label
+    assert failure.attempts == 3
+    assert failure.error_type == "ValueError"
+    assert failure.message == "transient wobble"
+    # Deterministic backoff accounting: 0.5 * 2**0 + 0.5 * 2**1.
+    assert failure.backoff_s == pytest.approx(1.5)
+    assert failure.timed_out is False
+    assert failure.duration_s >= 0.0
+    # The engine also keeps the record, and the message names the job.
+    assert engine.failures == [failure]
+    assert engine.stats.failed == 1
+    assert engine.stats.retried == 2
+    assert spec.label in str(excinfo.value)
+    assert failure.key[:12] in str(excinfo.value)
+
+
+def test_max_job_attempts_one_never_retries(monkeypatch):
+    monkeypatch.setattr(scheduler_module, "execute_job", _FlakyThenOk(10))
+    engine = ExperimentEngine(max_job_attempts=1)
+    with pytest.raises(EngineJobError) as excinfo:
+        engine.run(_specs(1))
+    assert excinfo.value.failures[0].attempts == 1
+    assert excinfo.value.failures[0].backoff_s == 0.0
+    assert engine.stats.retried == 0
+
+
+# ---------------------------------------------------------------------------
+# Parallel path: exceptions, timeouts, pool crashes
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_worker_exception_becomes_failure(monkeypatch):
+    monkeypatch.setattr(scheduler_module, "execute_job", _fail_seed_999)
+    specs = _specs(2) + [workload_job("tachyon", None, "linux", seed=999)]
+    engine = ExperimentEngine(jobs=2, max_job_attempts=2)
+    with pytest.raises(EngineJobError) as excinfo:
+        engine.run(specs)
+    [failure] = excinfo.value.failures
+    assert failure.error_type == "RuntimeError"
+    assert failure.attempts == 2
+    assert engine.stats.retried == 1
+    assert engine.stats.failed == 1
+
+
+def test_parallel_success_path_unchanged(monkeypatch):
+    monkeypatch.setattr(scheduler_module, "execute_job", _ok)
+    engine = ExperimentEngine(jobs=2)
+    results = engine.run(_specs(4))
+    assert results == [("done", 100 + i) for i in range(4)]
+    assert engine.stats.failed == 0
+
+
+def test_timeout_kills_hung_attempt(monkeypatch):
+    monkeypatch.setattr(scheduler_module, "execute_job", _sleep_forever)
+    engine = ExperimentEngine(jobs=2, job_timeout_s=0.4, max_job_attempts=1)
+    start = time.perf_counter()
+    with pytest.raises(EngineJobError) as excinfo:
+        engine.run(_specs(2))
+    elapsed = time.perf_counter() - start
+    assert elapsed < 60.0, "timeout reaping did not fire"
+    failures = excinfo.value.failures
+    assert len(failures) == 2
+    assert all(failure.timed_out for failure in failures)
+    assert all(failure.error_type == "TimeoutError" for failure in failures)
+    assert engine.stats.timeouts == 2
+    assert engine.stats.pool_restarts >= 1
+
+
+def test_broken_pool_is_respawned_and_job_retried(monkeypatch, tmp_path):
+    marker = tmp_path / "died.marker"
+    monkeypatch.setenv("HARDENING_DIE_ONCE_MARKER", str(marker))
+    monkeypatch.setattr(scheduler_module, "execute_job", _die_once)
+    engine = ExperimentEngine(jobs=2, max_job_attempts=3)
+    results = engine.run(_specs(2))
+    assert results == [("revived", 100), ("revived", 101)]
+    assert marker.exists()
+    assert engine.stats.pool_restarts >= 1
+    assert engine.stats.retried >= 1
+    assert engine.stats.failed == 0
+
+
+# ---------------------------------------------------------------------------
+# Accounting surfaces
+# ---------------------------------------------------------------------------
+
+
+def test_stats_dict_carries_hardening_counters():
+    stats = ExperimentEngine().stats.as_dict()
+    for key in ("retried", "failed", "timeouts", "pool_restarts"):
+        assert stats[key] == 0
+
+
+def test_engine_from_config_threads_hardening_fields():
+    engine = ExperimentEngine.from_config(
+        EngineConfig(
+            jobs=2,
+            use_cache=False,
+            job_timeout_s=12.5,
+            max_job_attempts=5,
+            retry_backoff_s=0.25,
+            checkpoint_every=400,
+            checkpoint_dir="ckpts",
+            resume=True,
+        )
+    )
+    assert engine.job_timeout_s == 12.5
+    assert engine.max_job_attempts == 5
+    assert engine.retry_backoff_s == 0.25
+    assert engine.checkpoint_every == 400
+    assert engine.checkpoint_dir == "ckpts"
+    assert engine.resume is True
+
+
+def test_engine_config_validates_hardening_fields():
+    with pytest.raises(ValueError):
+        EngineConfig(job_timeout_s=0.0)
+    with pytest.raises(ValueError):
+        EngineConfig(max_job_attempts=0)
+    with pytest.raises(ValueError):
+        EngineConfig(retry_backoff_s=-1.0)
+    with pytest.raises(ValueError):
+        EngineConfig(checkpoint_every=0)
+
+
+def test_job_failure_as_dict_round_trips():
+    failure = JobFailure(
+        key="a" * 64,
+        label="tachyon/linux",
+        attempts=3,
+        duration_s=1.25,
+        error_type="RuntimeError",
+        message="boom",
+        backoff_s=1.5,
+        timed_out=True,
+    )
+    assert failure.as_dict() == {
+        "key": "a" * 64,
+        "label": "tachyon/linux",
+        "attempts": 3,
+        "duration_s": 1.25,
+        "error_type": "RuntimeError",
+        "message": "boom",
+        "backoff_s": 1.5,
+        "timed_out": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Campaign-level degradation: one failed artefact never aborts the sweep
+# ---------------------------------------------------------------------------
+
+
+class _FakeResult:
+    def format_table(self):
+        return "fake table"
+
+
+def test_sweep_survives_a_failed_artefact(monkeypatch, tmp_path):
+    def good(iteration_scale, seed, engine):
+        return _FakeResult()
+
+    def bad(iteration_scale, seed, engine):
+        raise EngineJobError(
+            [
+                JobFailure(
+                    key="f" * 64,
+                    label="tachyon/proposed",
+                    attempts=3,
+                    duration_s=2.0,
+                    error_type="RuntimeError",
+                    message="boom",
+                )
+            ]
+        )
+
+    monkeypatch.setattr(sweep_module, "ARTEFACTS", {"good": good, "bad": bad})
+    report = sweep_module.regenerate_all(results_dir=tmp_path)
+    assert [run.name for run in report.runs] == ["good"]
+    assert (tmp_path / "good.txt").read_text() == "fake table\n"
+    assert not report.ok
+    assert set(report.failed_artefacts) == {"bad"}
+    [failure] = report.failed_artefacts["bad"]
+    assert failure.label == "tachyon/proposed"
+    summary = "\n".join(report.summary_lines())
+    assert "FAILED bad: 1 job(s) gave up" in summary
+    assert "tachyon/proposed" in summary
+
+
+def test_sweep_report_ok_when_nothing_failed(monkeypatch, tmp_path):
+    monkeypatch.setattr(
+        sweep_module, "ARTEFACTS", {"solo": lambda **kwargs: _FakeResult()}
+    )
+    report = sweep_module.regenerate_all(results_dir=tmp_path)
+    assert report.ok
+    assert report.failed_artefacts == {}

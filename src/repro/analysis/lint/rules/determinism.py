@@ -30,6 +30,7 @@ DETERMINISTIC_PACKAGES: Tuple[str, ...] = (
     "repro.sched",
     "repro.reliability",
     "repro.checkpoint",
+    "repro.ensemble",
 )
 
 #: Exact canonical names that are nondeterminism sources.

@@ -31,6 +31,11 @@ FAST_PATH_MODULES: Tuple[str, ...] = (
     "repro.power.table",
     "repro.power.energy",
     "repro.workloads.application",
+    "repro.ensemble.sched",
+    "repro.ensemble.governors",
+    "repro.ensemble.workloads",
+    "repro.ensemble.power_thermal",
+    "repro.ensemble.engine",
 )
 
 

@@ -9,6 +9,8 @@
     python -m repro run tachyon --dataset "set 1" --policy proposed
     python -m repro run tachyon --profile   # + cProfile hot-spot dump
     python -m repro bench             # tick-loop benchmark -> BENCH_PR3.json
+    python -m repro ensemble run tachyon --members 64   # vectorized seed grid
+    python -m repro ensemble bench    # trajectories/sec -> BENCH_PR7.json
     python -m repro list              # available artefacts & policies
     python -m repro run tachyon --checkpoint-every 500 --checkpoint-dir ckpts
     python -m repro run tachyon --checkpoint-dir ckpts --resume
@@ -273,6 +275,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) if ticks/sec regresses below this report",
     )
     bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown vs the baseline (default 0.30)",
+    )
+
+    ensemble = sub.add_parser(
+        "ensemble",
+        help="vectorized many-member execution (ensemble run / bench)",
+    )
+    ensemble_sub = ensemble.add_subparsers(dest="ensemble_command", required=True)
+    ens_run = ensemble_sub.add_parser(
+        "run",
+        help="run one workload across a seed grid as one vectorized job",
+    )
+    ens_run.add_argument("app", choices=APP_NAMES)
+    ens_run.add_argument("--dataset", default=None)
+    ens_run.add_argument("--policy", default="proposed", choices=POLICIES)
+    ens_run.add_argument(
+        "--members",
+        type=int,
+        default=8,
+        help="ensemble size; members get seeds seed..seed+members-1 "
+        "(default 8)",
+    )
+    ens_run.add_argument("--seed", type=int, default=1)
+    ens_run.add_argument("--scale", type=float, default=1.0)
+    ens_run.add_argument(
+        "--max-time",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-member wall-clock cap in simulated seconds",
+    )
+    ens_run.add_argument(
+        "--faults",
+        default="none",
+        choices=FAULT_MODES,
+        help="inject faults into every member's sensor/actuation paths",
+    )
+    ens_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the content-addressed result cache",
+    )
+    ens_bench = ensemble_sub.add_parser(
+        "bench",
+        help="trajectories/sec benchmark and write BENCH_PR7.json",
+    )
+    ens_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer ticks and repeats (same member count)",
+    )
+    ens_bench.add_argument(
+        "--members",
+        type=int,
+        default=None,
+        help="ensemble width (default 256)",
+    )
+    ens_bench.add_argument(
+        "--ticks", type=int, default=None, help="measured ensemble ticks per run"
+    )
+    ens_bench.add_argument(
+        "--repeats", type=int, default=None, help="timed runs per workload"
+    )
+    ens_bench.add_argument(
+        "--scalar-ticks",
+        type=int,
+        default=None,
+        help="measured ticks for the serial scalar baseline",
+    )
+    ens_bench.add_argument("--seed", type=int, default=1)
+    ens_bench.add_argument(
+        "--output",
+        default="BENCH_PR7.json",
+        help="where to write the JSON report (default BENCH_PR7.json)",
+    )
+    ens_bench.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="fail (exit 1) if trajectories/sec regresses below this report",
+    )
+    ens_bench.add_argument(
         "--max-regression",
         type=float,
         default=0.30,
@@ -659,6 +746,93 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ensemble_bench(args: argparse.Namespace) -> int:
+    from repro.perf import bench
+
+    baseline = None
+    if args.check_against is not None:
+        baseline = bench.load_report(args.check_against)
+    report = bench.run_ensemble_bench(
+        quick=args.quick,
+        members=args.members,
+        ticks=args.ticks,
+        repeats=args.repeats,
+        scalar_ticks=args.scalar_ticks,
+        seed=args.seed,
+        progress=print,
+    )
+    bench.write_report(report, args.output)
+    print()
+    print(bench.format_ensemble_report(report))
+    print(f"report written to {args.output}")
+    if baseline is not None:
+        failures = bench.check_regression(
+            report, baseline, max_regression=args.max_regression
+        )
+        if failures:
+            print(f"REGRESSION vs {args.check_against}:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(
+            f"no regression vs {args.check_against} "
+            f"(tolerance {args.max_regression:.0%})"
+        )
+    return 0
+
+
+def _command_ensemble_run(args: argparse.Namespace) -> int:
+    from repro.ensemble.runner import run_ensemble_job
+    from repro.experiments.engine.cache import ResultCache, default_cache_root
+    from repro.experiments.engine.spec import EnsembleJobSpec, workload_job
+
+    if args.members < 1:
+        print("--members must be at least 1")
+        return 2
+    faults = fault_config_for(args.faults)
+    spec = EnsembleJobSpec(
+        members=tuple(
+            workload_job(
+                args.app,
+                dataset=args.dataset,
+                policy=args.policy,
+                seed=args.seed + offset,
+                iteration_scale=args.scale,
+                max_time_s=args.max_time,
+                faults=faults,
+            )
+            for offset in range(args.members)
+        )
+    )
+    cache = None if args.no_cache else ResultCache(default_cache_root())
+    summaries = run_ensemble_job(spec, cache=cache)
+    print(
+        f"{'seed':>6} {'avg C':>8} {'peak C':>8} {'aging yr':>9} "
+        f"{'cyc yr':>9} {'thr/s':>9} {'done':>5}"
+    )
+    for member, summary in zip(spec.members, summaries):
+        print(
+            f"{member.seed:6d} {summary.average_temp_c:8.2f} "
+            f"{summary.peak_temp_c:8.2f} {summary.aging_mttf_years:9.2f} "
+            f"{summary.cycling_mttf_years:9.2f} {summary.throughput:9.4f} "
+            f"{'yes' if summary.completed else 'no':>5}"
+        )
+    count = len(summaries)
+    print(
+        f"ensemble of {count}: "
+        f"mean avg {sum(s.average_temp_c for s in summaries) / count:.2f} C, "
+        f"mean aging MTTF "
+        f"{sum(s.aging_mttf_years for s in summaries) / count:.2f} yr"
+    )
+    return 0
+
+
+def _command_ensemble(args: argparse.Namespace) -> int:
+    if args.ensemble_command == "bench":
+        return _command_ensemble_bench(args)
+    return _command_ensemble_run(args)
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import (
         BASELINE_FILENAME,
@@ -719,6 +893,8 @@ def main(argv=None) -> int:
         return _command_trace(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "ensemble":
+        return _command_ensemble(args)
     if args.command == "lint":
         return _command_lint(args)
     if args.command == "all":

@@ -1,0 +1,585 @@
+"""Vectorized ensemble engine.
+
+:class:`EnsembleSimulation` adopts N constructed-but-unrun scalar
+:class:`~repro.soc.simulator.Simulation` objects and steps all of them
+together, one vectorized NumPy tick for the whole ensemble.  The
+contract is **bit-faithfulness**: every member's results (thermal
+profile, energy, perf counters, app records, manager statistics) are
+bit-for-bit identical to what its scalar ``Simulation.run()`` would have
+produced — verified member-by-member in
+``tests/test_ensemble_equivalence.py``.
+
+The engine splits the system into two planes:
+
+* **data plane** (every member, every tick) — scheduler, thread state
+  machine, governors, power/thermal, evaluation sensors — batched into
+  structure-of-arrays form (:mod:`repro.ensemble.sched`,
+  :mod:`~repro.ensemble.workloads`, :mod:`~repro.ensemble.governors`,
+  :mod:`~repro.ensemble.power_thermal`, :mod:`~repro.ensemble.sensors`);
+* **control plane** (one member, occasionally) — thermal managers, fault
+  injectors and management-path sensor banks stay *real scalar objects*.
+  When a member's manager is due it runs unchanged against a
+  :class:`~repro.ensemble.member.MemberView`, so every Q-table update
+  and exploration draw is bit-identical by construction.
+
+Managers are gated by a per-member next-fire time harvested from their
+``_next_sample_s`` attribute, so the quiescent per-tick cost of the
+control plane is one vectorized comparison, not N Python calls.
+
+Members that finish (all applications done, or their ``max_time_s``
+reached) have their results frozen at exactly the point the scalar run
+loop would have broken; the remaining members keep stepping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+# Reuses the checkpoint layer's per-object capture/restore helpers so a
+# manager/sensor/injector snapshot has exactly one implementation.
+from repro.checkpoint.state import (
+    _capture_manager,
+    _capture_sensor_bank,
+    _restore_manager,
+    _restore_sensor_bank,
+    capture_fault_injector,
+    restore_fault_injector,
+)
+from repro.ensemble.governors import BatchedGovernors
+from repro.ensemble.member import MemberView
+from repro.ensemble.power_thermal import BatchedChip
+from repro.ensemble.sched import BatchedPerf, BatchedScheduler
+from repro.ensemble.sensors import BatchedEvalSensors
+from repro.ensemble.workloads import BatchedWorkloads
+from repro.faults.injector import FaultInjector
+from repro.power.energy import EnergyMeter
+from repro.sched.affinity import AffinityMapping
+from repro.sched.perf import PerfCounters
+from repro.soc.simulator import (
+    AppRecord,
+    Simulation,
+    SimulationResult,
+    ThermalManagerBase,
+)
+from repro.thermal.profile import ThermalProfile
+from repro.thermal.sensors import SensorBank
+from repro.workloads.application import Application
+
+#: Initial eval-sample capacity of the batched profile buffer.
+_INITIAL_PROFILE_CAPACITY = 64
+
+#: Perf-counter channels snapshotted when a member's run freezes.
+_PERF_CHANNELS = (
+    "executed_cycles",
+    "cache_misses",
+    "page_faults",
+    "migrations",
+    "sample_events",
+    "decision_events",
+)
+
+
+def _manager_next_fire(manager: Optional[ThermalManagerBase]) -> float:
+    """When the manager next needs an ``on_tick`` call.
+
+    Managers that do not override ``on_tick`` (the static policies)
+    never fire.  Managers that do but expose no ``_next_sample_s``
+    schedule fire every tick (the scalar engine calls ``on_tick``
+    unconditionally, so that is the conservative fallback).
+    """
+    if manager is None:
+        return math.inf
+    if type(manager).on_tick is ThermalManagerBase.on_tick:
+        return math.inf
+    return float(getattr(manager, "_next_sample_s", -math.inf))
+
+
+@dataclass
+class MemberState:
+    """The scalar (control-plane) objects one member keeps."""
+
+    applications: List[Application]
+    manager: Optional[ThermalManagerBase]
+    manager_sensors: SensorBank
+    fault_injector: Optional[FaultInjector]
+    mapping: Optional[AffinityMapping]
+    max_time_s: Optional[float]
+    seed: int
+
+
+class EnsembleSimulation:
+    """N scalar simulations, stepped as one vectorized system.
+
+    Parameters
+    ----------
+    members:
+        Constructed-but-unrun :class:`Simulation` objects.  All must
+        share one platform configuration and evaluation period.  The
+        ensemble *adopts* their state (thermal arrays, governors, RNGs,
+        managers); the adopted simulations must not be used afterwards.
+    """
+
+    def __init__(self, members: Sequence[Simulation]) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member simulation")
+        reference = members[0]
+        platform = reference.platform
+        eval_period = reference.eval_sample_period_s
+        for index, sim in enumerate(members):
+            if sim.platform != platform:
+                raise ValueError(
+                    f"member {index} has a different platform configuration; "
+                    "ensembles require a uniform platform"
+                )
+            if sim.eval_sample_period_s != eval_period:
+                raise ValueError(
+                    f"member {index} has a different eval sample period"
+                )
+            if sim.now != 0.0 or sim._app_index != -1:
+                raise ValueError(
+                    f"member {index} has already run; ensembles adopt "
+                    "freshly constructed simulations only"
+                )
+            if sim.obs is not None:
+                raise ValueError(
+                    f"member {index} has instrumentation attached; "
+                    "not supported in ensembles"
+                )
+            if sim._sensor_supervisor is not None:
+                raise ValueError(
+                    f"member {index} has a supervisor; not supported "
+                    "in ensembles"
+                )
+            if sim._checkpointer is not None:
+                raise ValueError(
+                    f"member {index} has a checkpointer attached; use "
+                    "EnsembleSimulation.capture/restore instead"
+                )
+
+        self.platform = platform
+        self.num_members = len(members)
+        self.num_cores = platform.num_cores
+        self.dt = platform.dt
+        self.eval_sample_period_s = eval_period
+        self.chip_template = reference.chip
+        m, c = self.num_members, self.num_cores
+
+        max_slots = max(
+            app.spec.num_threads
+            for sim in members
+            for app in sim.applications
+        )
+        self.workloads = BatchedWorkloads(m, max_slots)
+        self.perf = BatchedPerf(m)
+        self.scheduler = BatchedScheduler(
+            self.workloads,
+            self.perf,
+            c,
+            rebalance_period_s=np.asarray(
+                [sim.scheduler.rebalance_period_s for sim in members]
+            ),
+            idle_pull_delay_s=np.asarray(
+                [sim.scheduler.idle_pull_delay_s for sim in members]
+            ),
+            packing_threshold=np.asarray(
+                [sim.scheduler.packing_threshold for sim in members]
+            ),
+            pack_cap=np.asarray([sim.scheduler.pack_cap for sim in members]),
+            idle_activity=np.asarray(
+                [sim.scheduler.idle_activity for sim in members]
+            ),
+        )
+        self.governors = BatchedGovernors(reference.chip.ladder, m, c)
+        self.chip = BatchedChip(reference.chip, m)
+        self.eval_sensors = BatchedEvalSensors(platform.sensor, m, c)
+
+        self.members: List[MemberState] = []
+        for member, sim in enumerate(members):
+            self.chip.adopt_row(member, sim.chip)
+            self.governors.adopt_row(member, sim._governor)
+            self.eval_sensors.adopt_rng(sim._eval_sensors._rng)
+            self.members.append(
+                MemberState(
+                    applications=list(sim.applications),
+                    manager=sim.manager,
+                    manager_sensors=sim._manager_sensors,
+                    fault_injector=sim._fault_injector,
+                    mapping=sim._mapping,
+                    max_time_s=sim.max_time_s,
+                    seed=sim._seed,
+                )
+            )
+        self.views = [MemberView(self, member) for member in range(m)]
+
+        # Engine clock and eval schedule (shared: members start together).
+        self.now = 0.0
+        self._next_eval_s = eval_period
+        self._eval_count = 0
+        self._profile_buf = np.empty(
+            (m, c, _INITIAL_PROFILE_CAPACITY), dtype=np.float64
+        )
+        # Per-member run bookkeeping.
+        self.active = np.ones(m, dtype=bool)
+        self.run_completed = np.ones(m, dtype=bool)
+        self.app_index = np.full(m, -1, dtype=np.int64)
+        self.app_start_s = np.zeros(m, dtype=np.float64)
+        self._snap_dynamic_j = np.zeros(m, dtype=np.float64)
+        self._snap_static_j = np.zeros(m, dtype=np.float64)
+        self.mgr_next = np.full(m, math.inf, dtype=np.float64)
+        # Lower bound on min(mgr_next[active]); -inf forces the first
+        # tick (and any tick after a restore) to recompute it.
+        self._mgr_min = -math.inf
+        self.records: List[List[AppRecord]] = [[] for _ in range(m)]
+        self.total_time_s = np.zeros(m, dtype=np.float64)
+        self.profile_len = np.zeros(m, dtype=np.int64)
+        self._final_perf: List[Optional[Dict[str, float]]] = [None] * m
+        self._final_energy: List[Optional[tuple]] = [None] * m
+        # Vector form of each member's max_time_s (inf = no limit) so
+        # the per-tick run-loop bookkeeping is one comparison, not a
+        # Python loop over every member.
+        self._max_time_vec = np.asarray(
+            [
+                math.inf if s.max_time_s is None else float(s.max_time_s)
+                for s in self.members
+            ],
+            dtype=np.float64,
+        )
+        # Lower bound on min(max_time over active members), used with
+        # the workloads ``done_dirty`` flag to skip run-loop bookkeeping
+        # on ticks where nothing can possibly have finished.
+        self._min_max_time = float(np.min(self._max_time_vec))
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Mirror of ``Simulation.prepare`` for every member."""
+        for member, state in enumerate(self.members):
+            state.manager_sensors.reset()
+            # (Eval sensors hold no filter state here: EMA is rejected
+            # at construction, and reset never touches the RNG.)
+            if state.manager is not None:
+                state.manager.attach(self.views[member])
+                self.mgr_next[member] = _manager_next_fire(state.manager)
+        for member in range(self.num_members):
+            self._start_next_app(member)
+        self._prepared = True
+
+    def _start_next_app(self, member: int) -> bool:
+        """Mirror of ``Simulation._start_next_app`` for one member."""
+        state = self.members[member]
+        self.app_index[member] += 1
+        index = int(self.app_index[member])
+        if index >= len(state.applications):
+            return False
+        app = state.applications[index]
+        self.workloads.load_app_row(member, app)
+        self.scheduler.set_threads_row(member, state.mapping)
+        self.app_start_s[member] = self.now
+        self._snap_dynamic_j[member] = self.chip.dynamic_j[member]
+        self._snap_static_j[member] = self.chip.static_j[member]
+        if state.manager is not None and index > 0:
+            state.manager.on_app_switch(self.views[member], app)
+            self.mgr_next[member] = _manager_next_fire(state.manager)
+            self._mgr_min = -math.inf  # fire time may have moved earlier
+        return True
+
+    def _finish_app(self, member: int, completed: bool) -> None:
+        """Mirror of ``Simulation._finish_app`` for one member."""
+        state = self.members[member]
+        app = state.applications[int(self.app_index[member])]
+        self.records[member].append(
+            AppRecord(
+                name=app.spec.name,
+                dataset=app.spec.dataset,
+                start_s=float(self.app_start_s[member]),
+                end_s=self.now,
+                completed_iterations=len(self.workloads.completions[member]),
+                completed=completed,
+                dynamic_energy_j=float(
+                    self.chip.dynamic_j[member] - self._snap_dynamic_j[member]
+                ),
+                static_energy_j=float(
+                    self.chip.static_j[member] - self._snap_static_j[member]
+                ),
+            )
+        )
+
+    def _freeze(self, member: int, completed: bool) -> None:
+        """Snapshot a member's results where its scalar loop would break."""
+        self.active[member] = False
+        self.run_completed[member] = completed
+        self.total_time_s[member] = self.now
+        self.profile_len[member] = self._eval_count
+        self._final_perf[member] = {
+            name: getattr(self.perf, name)[member].item()
+            for name in _PERF_CHANNELS
+        }
+        self._final_energy[member] = (
+            float(self.chip.dynamic_j[member]),
+            float(self.chip.static_j[member]),
+            float(self.chip.energy_elapsed_s[member]),
+        )
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Mirror of ``Simulation.step`` across the whole ensemble."""
+        dt = self.dt
+        # The scalar loop snapshots governor frequencies at the top of
+        # the tick; the governor update below must not feed back into
+        # this tick's chip step.  ``update`` always rebinds ``freq`` to
+        # a fresh array (the in-place writers — adopt/switch/restore —
+        # all run after the chip consumed this snapshot), so holding the
+        # current array IS the snapshot; no defensive copy needed.
+        freq_used = self.governors.freq
+        util, activity = self.scheduler.tick(freq_used, dt)
+        self.workloads.tick(dt)
+        self.governors.update(util)
+        self.chip.step(activity, freq_used, dt)
+        self.now += dt
+
+        if self.now + 1e-9 >= self._next_eval_s:
+            reading = self.eval_sensors.read(self.chip.core_temps())
+            self._append_eval(reading)
+            self._next_eval_s += self.eval_sample_period_s
+
+        # ``_mgr_min`` is a monotone lower bound on the earliest active
+        # manager fire time (stale values are only ever too low, which
+        # just costs a recompute), so most ticks skip the member scan.
+        if self.now + 1e-9 >= self._mgr_min:
+            due = np.nonzero(self.active & (self.now + 1e-9 >= self.mgr_next))[0]
+            for member in due:
+                manager = self.members[member].manager
+                manager.on_tick(self.views[member])
+                self.mgr_next[member] = _manager_next_fire(manager)
+            self._mgr_min = float(
+                np.min(np.where(self.active, self.mgr_next, math.inf))
+            )
+
+    def _append_eval(self, reading: np.ndarray) -> None:
+        capacity = self._profile_buf.shape[2]
+        if self._eval_count == capacity:
+            grown = np.empty(
+                (self.num_members, self.num_cores, capacity * 2),
+                dtype=np.float64,
+            )
+            grown[:, :, :capacity] = self._profile_buf
+            self._profile_buf = grown
+        self._profile_buf[:, :, self._eval_count] = reading
+        self._eval_count += 1
+
+    def advance(self) -> None:
+        """Mirror of the scalar run loop's bookkeeping after one step."""
+        w = self.workloads
+        # ``done_dirty`` is conservative: it is set whenever any thread
+        # may have entered DONE, so a clear flag plus a clock short of
+        # every member's time limit proves no trigger can fire.
+        if not w.done_dirty and self.now < self._min_max_time:
+            return
+        done = w.done_mask()
+        w.done_dirty = False
+        trigger = self.active & (done | (self.now >= self._max_time_vec))
+        if not trigger.any():
+            return
+        for member in np.nonzero(trigger)[0]:
+            if done[member]:
+                self._finish_app(member, completed=True)
+                if not self._start_next_app(member):
+                    self._freeze(member, completed=True)
+            else:
+                # max_time_s reached (the scalar loop's elif branch:
+                # checked only when the app is not done).
+                self._finish_app(member, completed=False)
+                self._freeze(member, completed=False)
+        # Frozen members drop out of the time-limit watch; keep the
+        # lower bound over the still-active ones.
+        self._min_max_time = float(
+            np.min(np.where(self.active, self._max_time_vec, math.inf))
+        )
+
+    def run(self, max_ticks: Optional[int] = None):
+        """Step until every member finishes; return per-member results.
+
+        Returns ``None`` when stopped early by ``max_ticks`` with
+        members still active (the benchmark harness does this).
+        """
+        if not self._prepared:
+            self.prepare()
+        ticks = 0
+        while bool(self.active.any()):
+            self.step()
+            self.advance()
+            ticks += 1
+            if max_ticks is not None and ticks >= max_ticks:
+                break
+        if bool(self.active.any()):
+            return None
+        return self.results()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def results(self) -> List[SimulationResult]:
+        """Per-member :class:`SimulationResult`, scalar-identical."""
+        if bool(self.active.any()):
+            raise RuntimeError(
+                "ensemble still has active members; run() to completion "
+                "before collecting results"
+            )
+        out: List[SimulationResult] = []
+        for member in range(self.num_members):
+            state = self.members[member]
+            profile = ThermalProfile(self.num_cores, self.eval_sample_period_s)
+            length = int(self.profile_len[member])
+            profile._adopt(self._profile_buf[member, :, :length])
+            dynamic_j, static_j, elapsed_s = self._final_energy[member]
+            perf = PerfCounters()
+            final_perf = self._final_perf[member]
+            perf.executed_cycles = final_perf["executed_cycles"]
+            perf.cache_misses = final_perf["cache_misses"]
+            perf.page_faults = final_perf["page_faults"]
+            perf.migrations = int(final_perf["migrations"])
+            perf.sample_events = int(final_perf["sample_events"])
+            perf.decision_events = int(final_perf["decision_events"])
+            out.append(
+                SimulationResult(
+                    profile=profile,
+                    energy=EnergyMeter(dynamic_j, static_j, elapsed_s),
+                    perf=perf,
+                    app_records=list(self.records[member]),
+                    total_time_s=float(self.total_time_s[member]),
+                    completed=bool(self.run_completed[member]),
+                    manager_stats=(
+                        state.manager.stats()
+                        if state.manager is not None
+                        else {}
+                    ),
+                    fault_stats=(
+                        state.fault_injector.stats.as_dict()
+                        if state.fault_injector is not None
+                        else {}
+                    ),
+                    supervisor_stats={},
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def capture(self) -> dict:
+        """In-memory snapshot of the whole ensemble at a tick boundary."""
+        return {
+            "now": self.now,
+            "next_eval_s": self._next_eval_s,
+            "eval_count": self._eval_count,
+            "active": self.active.copy(),
+            "run_completed": self.run_completed.copy(),
+            "app_index": self.app_index.copy(),
+            "app_start_s": self.app_start_s.copy(),
+            "snap_dynamic_j": self._snap_dynamic_j.copy(),
+            "snap_static_j": self._snap_static_j.copy(),
+            "mgr_next": self.mgr_next.copy(),
+            "total_time_s": self.total_time_s.copy(),
+            "profile_len": self.profile_len.copy(),
+            "profile_buf": self._profile_buf[:, :, : self._eval_count].copy(),
+            "records": [list(r) for r in self.records],
+            "final_perf": [
+                dict(d) if d is not None else None for d in self._final_perf
+            ],
+            "final_energy": list(self._final_energy),
+            "workloads": self.workloads.capture(),
+            "scheduler": self.scheduler.capture(),
+            "governors": self.governors.capture(),
+            "chip": self.chip.capture(),
+            "eval_sensors": self.eval_sensors.capture(),
+            "perf": self.perf.capture(),
+            "member_states": [
+                {
+                    "manager": (
+                        _capture_manager(state.manager)
+                        if state.manager is not None
+                        else None
+                    ),
+                    "manager_sensors": _capture_sensor_bank(
+                        state.manager_sensors
+                    ),
+                    "fault_injector": (
+                        capture_fault_injector(state.fault_injector)
+                        if state.fault_injector is not None
+                        else None
+                    ),
+                    "mapping": state.mapping,
+                }
+                for state in self.members
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`capture` snapshot into this (fresh) ensemble.
+
+        Mirrors the scalar checkpoint contract: the ensemble is prepared
+        first (attaching managers, which may draw), then every piece of
+        adopted state is overwritten with the snapshot, so the net
+        effect is exactly the captured trajectory.
+        """
+        if not self._prepared:
+            self.prepare()
+        self.now = state["now"]
+        self._next_eval_s = state["next_eval_s"]
+        self._eval_count = state["eval_count"]
+        self.active[...] = state["active"]
+        self.run_completed[...] = state["run_completed"]
+        self.app_index[...] = state["app_index"]
+        self.app_start_s[...] = state["app_start_s"]
+        self._snap_dynamic_j[...] = state["snap_dynamic_j"]
+        self._snap_static_j[...] = state["snap_static_j"]
+        self.total_time_s[...] = state["total_time_s"]
+        self.profile_len[...] = state["profile_len"]
+        while self._profile_buf.shape[2] < self._eval_count:
+            self._append_capacity()
+        self._profile_buf[:, :, : self._eval_count] = state["profile_buf"]
+        self.records = [list(r) for r in state["records"]]
+        self._final_perf = [
+            dict(d) if d is not None else None for d in state["final_perf"]
+        ]
+        self._final_energy = list(state["final_energy"])
+        for member, mstate in enumerate(state["member_states"]):
+            mem = self.members[member]
+            if mstate["manager"] is not None:
+                _restore_manager(mem.manager, mstate["manager"])
+            _restore_sensor_bank(mem.manager_sensors, mstate["manager_sensors"])
+            if mstate["fault_injector"] is not None:
+                restore_fault_injector(
+                    mem.fault_injector, mstate["fault_injector"]
+                )
+            mem.mapping = mstate["mapping"]
+            # The workload RNG list must point at the app the snapshot
+            # had in flight before its bit state is overwritten below.
+            index = min(
+                int(self.app_index[member]), len(mem.applications) - 1
+            )
+            self.workloads._rngs[member] = mem.applications[index]._rng
+        self.workloads.restore(state["workloads"])
+        self.scheduler.restore(state["scheduler"])
+        self.governors.restore(state["governors"])
+        self.chip.restore(state["chip"])
+        self.eval_sensors.restore(state["eval_sensors"])
+        self.perf.restore(state["perf"])
+        self.mgr_next[...] = state["mgr_next"]
+        self._mgr_min = -math.inf  # restored fire times: recompute lazily
+
+    def _append_capacity(self) -> None:
+        capacity = self._profile_buf.shape[2]
+        grown = np.empty(
+            (self.num_members, self.num_cores, capacity * 2), dtype=np.float64
+        )
+        grown[:, :, :capacity] = self._profile_buf
+        self._profile_buf = grown

@@ -1,0 +1,158 @@
+"""Per-member control-plane views.
+
+Thermal managers (the learning agents and baselines) stay *scalar*
+objects in the ensemble engine: each member keeps its own real manager,
+fault injector and management-path :class:`~repro.thermal.sensors.SensorBank`.
+When a member's manager fires, it is handed a :class:`MemberView` — an
+adapter with the same observation/actuation surface as
+:class:`repro.soc.simulator.Simulation` — whose methods read and write
+that member's rows of the batched arrays.
+
+Because the manager code runs unchanged against this view, every
+Q-table update, exploration draw and governor/mapping decision is
+bit-identical to the scalar engine *by construction*; only the data
+plane underneath is vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.sched.affinity import AffinityMapping
+from repro.soc.simulator import (
+    DECISION_OVERHEAD_S,
+    KNOWN_GOVERNORS,
+    SAMPLE_OVERHEAD_S,
+)
+from repro.faults.injector import OUTCOME_OK
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ensemble.engine import EnsembleSimulation
+
+
+class LadderView:
+    """Just enough of :class:`Chip`'s ladder surface for managers."""
+
+
+class ChipView:
+    """Read-only chip facade (managers query the OPP ladder)."""
+
+    def __init__(self, engine: "EnsembleSimulation") -> None:
+        self.ladder = engine.chip_template.ladder
+
+
+class AppView:
+    """One member's current application, backed by the batched arrays."""
+
+    def __init__(self, engine: "EnsembleSimulation", member: int) -> None:
+        self._engine = engine
+        self._member = member
+
+    @property
+    def _app(self):
+        engine = self._engine
+        return engine.members[self._member].applications[
+            engine.app_index[self._member]
+        ]
+
+    @property
+    def spec(self):
+        return self._app.spec
+
+    @property
+    def name(self) -> str:
+        return self._app.spec.name
+
+    @property
+    def completed_iterations(self) -> int:
+        return len(self._engine.workloads.completions[self._member])
+
+    def throughput(self, window_s: Optional[float] = None) -> float:
+        return self._engine.workloads.throughput(self._member, window_s)
+
+    def performance_satisfied(self, window_s: Optional[float] = None) -> bool:
+        return self.throughput(window_s) >= self.spec.performance_constraint
+
+
+class MemberView:
+    """The ``Simulation``-shaped handle one member's manager drives."""
+
+    def __init__(self, engine: "EnsembleSimulation", member: int) -> None:
+        self._engine = engine
+        self._member = member
+        self.chip = ChipView(engine)
+        self.obs = None
+        self._app_view = AppView(engine, member)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    @property
+    def current_app(self) -> AppView:
+        return self._app_view
+
+    @property
+    def mapping(self) -> Optional[AffinityMapping]:
+        return self._engine.members[self._member].mapping
+
+    def read_sensors(self) -> np.ndarray:
+        """Mirror of ``Simulation.read_sensors`` for one member."""
+        engine = self._engine
+        member = self._member
+        engine.perf.record_sample_event_row(member)
+        engine.scheduler.stall_all_row(member, SAMPLE_OVERHEAD_S)
+        state = engine.members[member]
+        readings = state.manager_sensors.read(engine.chip.core_temps()[member])
+        if state.fault_injector is not None:
+            readings = state.fault_injector.perturb_sensors(
+                engine.now, readings
+            )
+        return readings
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+    def set_governor(
+        self, name: str, userspace_frequency_hz: Optional[float] = None
+    ) -> None:
+        """Mirror of ``Simulation.set_governor`` (fault-model aware)."""
+        if name not in KNOWN_GOVERNORS:
+            raise ValueError(
+                f"unknown governor {name!r}; expected one of {KNOWN_GOVERNORS}"
+            )
+        if name == "userspace" and userspace_frequency_hz is None:
+            raise ValueError("userspace governor needs an explicit frequency")
+        engine = self._engine
+        member = self._member
+        injector = engine.members[member].fault_injector
+        if injector is not None and injector.governor_outcome() != OUTCOME_OK:
+            return
+        engine.governors.switch_row(member, name, userspace_frequency_hz)
+
+    def set_mapping(self, mapping: Optional[AffinityMapping]) -> None:
+        """Mirror of ``Simulation.set_mapping`` (fault-model aware)."""
+        engine = self._engine
+        member = self._member
+        if mapping is not None:
+            mapping.validate(engine.num_cores)
+        injector = engine.members[member].fault_injector
+        if injector is not None and injector.mapping_outcome() != OUTCOME_OK:
+            return
+        engine.members[member].mapping = mapping
+        if mapping is None:
+            engine.scheduler.clear_mapping_row(member)
+        else:
+            engine.scheduler.set_mapping_row(member, mapping)
+
+    def charge_decision_overhead(self) -> None:
+        """Mirror of ``Simulation.charge_decision_overhead``."""
+        engine = self._engine
+        member = self._member
+        engine.perf.record_decision_event_row(member)
+        engine.scheduler.stall_all_row(member, DECISION_OVERHEAD_S)

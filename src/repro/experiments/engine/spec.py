@@ -164,6 +164,56 @@ def scenario_job(
     )
 
 
+@dataclass(frozen=True)
+class EnsembleJobSpec:
+    """A batch of workload jobs executed by the vectorized ensemble engine.
+
+    The members are plain :class:`JobSpec` objects, so each member's
+    cache identity (:func:`job_key`) is exactly the scalar job's —
+    bit-faithfulness of the ensemble engine is what makes sharing the
+    result cache between the two execution paths sound.  The bundle
+    itself also canonicalises (it is a dataclass of dataclasses), so an
+    :class:`EnsembleJobSpec` can be hashed with :func:`job_key` too.
+    """
+
+    members: Tuple[JobSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("ensemble jobs need at least one member")
+        platform = self.members[0].platform
+        for index, member in enumerate(self.members):
+            if member.kind != "workload":
+                raise ValueError(
+                    f"ensemble member {index} has kind {member.kind!r}; "
+                    "only workload jobs can be batched"
+                )
+            if member.platform != platform:
+                raise ValueError(
+                    f"ensemble member {index} has a different platform; "
+                    "ensembles require a uniform platform"
+                )
+            if member.supervisor is not None and member.supervisor.enabled:
+                raise ValueError(
+                    f"ensemble member {index} enables the supervisor; "
+                    "not supported by the ensemble engine"
+                )
+
+    def member_keys(self, version: Optional[str] = None) -> Tuple[str, ...]:
+        """Each member's scalar cache key, in member order."""
+        return tuple(job_key(member, version) for member in self.members)
+
+    @property
+    def label(self) -> str:
+        """Short display label for progress reporting."""
+        return f"ensemble[{len(self.members)}]"
+
+
+def ensemble_job(members) -> EnsembleJobSpec:
+    """An ensemble job spec from an iterable of workload job specs."""
+    return EnsembleJobSpec(members=tuple(members))
+
+
 # ---------------------------------------------------------------------------
 # Canonical serialisation and hashing
 # ---------------------------------------------------------------------------

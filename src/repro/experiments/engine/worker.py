@@ -11,7 +11,7 @@ import shutil
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.experiments.engine.spec import JobSpec, job_key
+from repro.experiments.engine.spec import EnsembleJobSpec, JobSpec, job_key
 from repro.experiments.runner import RunSummary, run_scenario, run_workload
 
 
@@ -49,6 +49,19 @@ def execute_job(
         # The job finished; its checkpoints have served their purpose.
         shutil.rmtree(checkpoint_dir, ignore_errors=True)
     return summary
+
+
+def execute_ensemble_job(spec: EnsembleJobSpec, cache=None):
+    """Execute an ensemble job through the vectorized engine.
+
+    Imported lazily so workers running ordinary scalar jobs never pay
+    for the ensemble machinery.  Returns one ``RunSummary`` per member,
+    in member order; with a cache, members hit in the cache are not
+    re-simulated.
+    """
+    from repro.ensemble.runner import run_ensemble_job
+
+    return run_ensemble_job(spec, cache=cache)
 
 
 def _execute(

@@ -316,17 +316,70 @@ def run_workload(
     reliability = (
         reliability if reliability is not None else default_reliability_config()
     )
+    sim = _build_workload_setup(
+        app,
+        dataset,
+        policy,
+        seed=seed,
+        train_passes=train_passes,
+        agent_config=agent_config,
+        reliability=reliability,
+        platform=platform,
+        action_space=action_space,
+        ge_config=ge_config,
+        mapping=mapping,
+        iteration_scale=iteration_scale,
+        max_time_s=max_time_s,
+        faults=faults,
+        supervisor=supervisor,
+        instrumentation=instrumentation,
+    )
+    _setup_checkpointing(sim, checkpoint_every, checkpoint_dir, resume)
+    result = sim.run()
+    return _summarise_workload(
+        result,
+        app,
+        dataset if dataset is not None else sim.applications[-1].spec.dataset,
+        policy,
+        train_passes,
+        reliability,
+    )
+
+
+def _build_workload_setup(
+    app: str,
+    dataset: Optional[str],
+    policy: str,
+    seed: int,
+    train_passes: int = 1,
+    agent_config: Optional[AgentConfig] = None,
+    reliability: Optional[ReliabilityConfig] = None,
+    platform: Optional[PlatformConfig] = None,
+    action_space: Optional[ActionSpace] = None,
+    ge_config: Optional[GeQiuConfig] = None,
+    mapping: Optional[AffinityMapping] = None,
+    iteration_scale: float = 1.0,
+    max_time_s: float = 20000.0,
+    faults: Optional[FaultConfig] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+    instrumentation=None,
+) -> Simulation:
+    """Construct (without running) one workload-protocol simulation.
+
+    Shared between :func:`run_workload` and the ensemble runner — a
+    member built here and run through the vectorized engine sees exactly
+    the setup the scalar path sees.
+    """
     applications: List[Application] = []
     for index in range(train_passes):
         applications.append(
             _make_app(app, dataset, seed=seed * 17 + 101 + index, scale=iteration_scale)
         )
     applications.append(_make_app(app, dataset, seed=seed, scale=iteration_scale))
-
     manager, governor, userspace_hz = build_manager(
         policy, agent_config, reliability, action_space, ge_config, mapping
     )
-    sim = Simulation(
+    return Simulation(
         applications,
         platform=platform,
         governor=governor,
@@ -338,8 +391,21 @@ def run_workload(
         supervisor=supervisor,
         instrumentation=instrumentation,
     )
-    _setup_checkpointing(sim, checkpoint_every, checkpoint_dir, resume)
-    result = sim.run()
+
+
+def _summarise_workload(
+    result: SimulationResult,
+    app: str,
+    dataset: str,
+    policy: str,
+    train_passes: int,
+    reliability: ReliabilityConfig,
+) -> RunSummary:
+    """Measurement-window extraction + summary for the workload protocol.
+
+    Shared between :func:`run_workload` and the ensemble runner, so both
+    paths reduce a :class:`SimulationResult` identically.
+    """
     measured = result.app_records[train_passes:]
     if measured:
         start = measured[0].start_s + WARMUP_SKIP_S * (1 if train_passes == 0 else 0)
@@ -365,7 +431,7 @@ def run_workload(
         window,
         measured,
         app,
-        dataset if dataset is not None else applications[-1].spec.dataset,
+        dataset,
         policy,
         reliability,
     )

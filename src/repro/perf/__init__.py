@@ -6,10 +6,12 @@ Two complementary tools:
   the engine (and chip) feed per-phase wall-clock accounting into, so a
   run can report where its tick time goes
   (schedule/app/governor/power/thermal/sensors/manager);
-* :mod:`repro.perf.bench` — the ``repro bench`` harness: runs the
-  representative workload mix, measures ticks/sec (uninstrumented) and
-  the per-phase split (instrumented), compares against the recorded
-  seed numbers and writes ``BENCH_PR3.json``.
+* :mod:`repro.perf.bench` — the shared ``repro bench`` / ``repro
+  ensemble bench`` harness: runs the representative workload mix,
+  measures scalar ticks/sec (and the instrumented per-phase split) for
+  ``BENCH_PR3.json``, and ensemble trajectory-ticks/sec against the
+  serial baseline for ``BENCH_PR7.json``, through one timed-loop and
+  regression-gate implementation.
 
 Only the timer is re-exported here: the bench module imports the whole
 simulation stack (which itself imports the timer), so it must be pulled

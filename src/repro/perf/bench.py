@@ -1,11 +1,17 @@
-"""The ``repro bench`` harness: tick-loop throughput + phase accounting.
+"""The ``repro bench`` harnesses: scalar tick loop + vectorized ensemble.
 
-Runs the default quad-core workload mix (a barrier-heavy app and a
-work-queue app under plain Linux behaviour, plus the learning agent) and
-reports, per workload:
+Both benchmarks share one measurement core — the same workload mix
+(:data:`WORKLOADS`), the same warmup (:data:`WARMUP_TICKS`), the same
+timed-loop/best-of-N machinery (:func:`_timed_ticks`,
+:func:`_best_rate`) and the same report/regression plumbing
+(:func:`write_report`, :func:`check_regression`) — so their numbers are
+directly comparable.
 
-* **ticks/sec** — wall-clock throughput of ``Simulation.step`` with no
-  instrumentation attached (best of N fresh runs, after a warmup);
+``repro bench`` (:func:`run_bench`) measures the scalar
+``Simulation.step`` loop and reports, per workload:
+
+* **ticks/sec** — wall-clock throughput with no instrumentation
+  attached (best of N fresh runs, after a warmup);
 * **speedup vs. seed** — against :data:`SEED_TICKS_PER_S`, the numbers
   measured on the seed (pre fast-path) implementation with this same
   harness shape (200-tick warmup, best-of-3, 20k measured ticks);
@@ -13,9 +19,17 @@ reports, per workload:
   :class:`~repro.perf.timer.SectionTimer` attached: seconds and
   ticks/sec for schedule/app/governor/power/thermal/sensors/manager.
 
-The report is written to ``BENCH_PR3.json``; CI reruns ``repro bench
---quick`` and fails when throughput regresses more than 30% below the
-committed numbers (see ``--check-against``).
+``repro ensemble bench`` (:func:`run_ensemble_bench`) measures the
+vectorized :class:`~repro.ensemble.engine.EnsembleSimulation` against
+the honest serial baseline — the scalar loop measured by this same
+harness — and reports **trajectory-ticks/sec** (ensemble ticks/sec
+times the member count): the aggregate simulation throughput a serial
+sweep over the same member list achieves one trajectory at a time.
+
+Scalar reports are written to ``BENCH_PR3.json``, ensemble reports to
+``BENCH_PR7.json``; CI reruns both in ``--quick`` mode and fails when
+a shared metric regresses more than 30% below the committed numbers
+(see ``--check-against``).
 """
 
 from __future__ import annotations
@@ -62,11 +76,19 @@ WORKLOADS: Tuple[BenchWorkload, ...] = (
 )
 
 
+#: Default ensemble width benchmarked by ``repro ensemble bench``.
+ENSEMBLE_MEMBERS = 256
+
+
 def _build_simulation(app: str, policy: str, seed: int) -> Simulation:
-    """A prepared simulation mirroring the experiment runner's wiring."""
+    """An unprepared simulation mirroring the experiment runner's wiring.
+
+    Left unprepared so the same builder serves both paths: the scalar
+    harness prepares it itself, the ensemble engine adopts it fresh.
+    """
     application = _make_app(app, None, seed=seed, scale=1.0)
     manager, governor, userspace_hz = build_manager(policy)
-    sim = Simulation(
+    return Simulation(
         [application],
         governor=governor,
         userspace_frequency_hz=userspace_hz,
@@ -74,32 +96,90 @@ def _build_simulation(app: str, policy: str, seed: int) -> Simulation:
         seed=seed,
         max_time_s=None,
     )
-    sim.prepare()
-    return sim
+
+
+def _timed_ticks(step: Callable[[], bool], ticks: int) -> Tuple[int, float]:
+    """The shared measurement core: step ``ticks`` times under the clock.
+
+    ``step`` advances the system one tick and returns ``True`` to stop
+    early (workload finished).  Returns ``(ticks_stepped, elapsed_s)``.
+    Both the scalar and the ensemble bench measure through this one
+    loop, so their rates are produced identically.
+    """
+    stepped = 0
+    start = time.perf_counter()
+    while stepped < ticks:
+        stop = step()
+        stepped += 1
+        if stop:
+            break
+    return stepped, time.perf_counter() - start
+
+
+def _best_rate(
+    repeats: int, run_once: Callable[[], Tuple[int, float]]
+) -> float:
+    """Best ticks/sec over ``repeats`` fresh timed runs."""
+    best = 0.0
+    for _ in range(repeats):
+        stepped, elapsed = run_once()
+        if elapsed > 0.0:
+            best = max(best, stepped / elapsed)
+    return best
 
 
 def _measure_once(
     app: str, policy: str, ticks: int, seed: int, timer: Optional[SectionTimer] = None
 ) -> Tuple[int, float]:
-    """One fresh run: warm up, then step ``ticks`` times under the clock.
+    """One fresh scalar run: warm up, then step ``ticks`` under the clock.
 
     Returns ``(ticks_stepped, elapsed_seconds)``; stops early if the
     application finishes (the tick counts below stay well inside every
     app's full length).
     """
     sim = _build_simulation(app, policy, seed)
+    sim.prepare()
     if timer is not None:
         sim.attach_timer(timer)
     for _ in range(WARMUP_TICKS):
         sim.step()
-    stepped = 0
-    start = time.perf_counter()
-    while stepped < ticks:
+
+    def step() -> bool:
         sim.step()
-        stepped += 1
-        if sim.current_app.done:
-            break
-    return stepped, time.perf_counter() - start
+        return sim.current_app.done
+
+    return _timed_ticks(step, ticks)
+
+
+def _measure_ensemble_once(
+    app: str, policy: str, members: int, ticks: int, seed: int
+) -> Tuple[int, float]:
+    """One fresh ensemble run: warm up, then step ``ticks`` under the clock.
+
+    Each member is the same workload at a distinct seed (``seed``,
+    ``seed + 1``, ...), matching how a real sweep varies its members.
+    The measured loop includes the run-loop bookkeeping (``advance``),
+    so the rate reflects end-to-end ensemble stepping.
+    """
+    from repro.ensemble.engine import EnsembleSimulation
+
+    ensemble = EnsembleSimulation(
+        [
+            _build_simulation(app, policy, seed + offset)
+            for offset in range(members)
+        ]
+    )
+    ensemble.prepare()
+    for _ in range(WARMUP_TICKS):
+        ensemble.step()
+        ensemble.advance()
+
+    def step() -> bool:
+        ensemble.step()
+        ensemble.advance()
+        return not bool(ensemble.active.all())
+
+    return _timed_ticks(step, ticks)
 
 
 def run_bench(
@@ -136,13 +216,10 @@ def run_bench(
     workloads: Dict[str, Any] = {}
     speedups: List[float] = []
     for workload in WORKLOADS:
-        best_rate = 0.0
-        for _ in range(repeats):
-            stepped, elapsed = _measure_once(
-                workload.app, workload.policy, ticks, seed
-            )
-            if elapsed > 0.0:
-                best_rate = max(best_rate, stepped / elapsed)
+        best_rate = _best_rate(
+            repeats,
+            lambda w=workload: _measure_once(w.app, w.policy, ticks, seed),
+        )
         timer = SectionTimer()
         _measure_once(workload.app, workload.policy, ticks, seed, timer=timer)
         phase_seconds = timer.totals()
@@ -191,6 +268,141 @@ def run_bench(
     }
 
 
+def run_ensemble_bench(
+    quick: bool = False,
+    members: Optional[int] = None,
+    ticks: Optional[int] = None,
+    repeats: Optional[int] = None,
+    scalar_ticks: Optional[int] = None,
+    seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Benchmark the ensemble engine and build the ``BENCH_PR7`` report.
+
+    For each workload in the shared mix, measures (a) the scalar tick
+    loop — the honest serial baseline, one trajectory at a time — and
+    (b) an ensemble of ``members`` copies of the workload at distinct
+    seeds, both through :func:`_timed_ticks`.  The headline metric is
+    ``traj_ticks_per_s`` = ensemble ticks/sec x members: aggregate
+    simulated trajectory-ticks per wall-clock second.
+
+    Parameters
+    ----------
+    quick:
+        CI smoke mode: far fewer measured ticks and a single repeat.
+        The member count is *not* reduced — ``traj_ticks_per_s`` scales
+        with the ensemble width, so the regression gate only compares
+        like with like.
+    members:
+        Ensemble width (default :data:`ENSEMBLE_MEMBERS`).
+    ticks:
+        Measured ensemble ticks per run (overrides the mode default).
+    repeats:
+        Timed fresh runs per workload; the best one is reported.
+    scalar_ticks:
+        Measured ticks per scalar-baseline run.
+    seed:
+        Base seed; member ``i`` runs at ``seed + i``.
+    progress:
+        Optional sink for one line per finished workload.
+    """
+    if members is None:
+        members = ENSEMBLE_MEMBERS
+    if ticks is None:
+        ticks = 300 if quick else 2000
+    if repeats is None:
+        repeats = 1 if quick else 2
+    if scalar_ticks is None:
+        scalar_ticks = 3000 if quick else 20000
+    if members <= 0:
+        raise ValueError("members must be positive")
+    if ticks <= 0 or scalar_ticks <= 0:
+        raise ValueError("ticks must be positive")
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+
+    workloads: Dict[str, Any] = {}
+    speedups: List[float] = []
+    for workload in WORKLOADS:
+        scalar_rate = _best_rate(
+            repeats,
+            lambda w=workload: _measure_once(
+                w.app, w.policy, scalar_ticks, seed
+            ),
+        )
+        ensemble_rate = _best_rate(
+            repeats,
+            lambda w=workload: _measure_ensemble_once(
+                w.app, w.policy, members, ticks, seed
+            ),
+        )
+        traj_rate = ensemble_rate * members
+        speedup = traj_rate / scalar_rate if scalar_rate > 0.0 else None
+        if speedup is not None:
+            speedups.append(speedup)
+        workloads[workload.key] = {
+            "app": workload.app,
+            "policy": workload.policy,
+            "members": members,
+            "measured_ticks": ticks,
+            "scalar_ticks": scalar_ticks,
+            "scalar_ticks_per_s": round(scalar_rate, 1),
+            "ensemble_ticks_per_s": round(ensemble_rate, 1),
+            "traj_ticks_per_s": round(traj_rate, 1),
+            "speedup_vs_serial": (
+                round(speedup, 2) if speedup is not None else None
+            ),
+        }
+        if progress is not None:
+            progress(
+                f"{workload.key:<20} {traj_rate:>11.0f} traj-ticks/s"
+                + (
+                    f"  ({speedup:.1f}x serial)"
+                    if speedup is not None
+                    else ""
+                )
+            )
+
+    geomean = None
+    if speedups:
+        product = 1.0
+        for value in speedups:
+            product *= value
+        geomean = round(product ** (1.0 / len(speedups)), 2)
+    return {
+        "label": "BENCH_PR7",
+        "mode": "quick" if quick else "full",
+        "members": members,
+        "measured_ticks": ticks,
+        "scalar_ticks": scalar_ticks,
+        "repeats": repeats,
+        "seed": seed,
+        "warmup_ticks": WARMUP_TICKS,
+        "workloads": workloads,
+        "geomean_speedup_vs_serial": geomean,
+    }
+
+
+def format_ensemble_report(report: Dict[str, Any]) -> str:
+    """Human-readable table of an ensemble bench report."""
+    lines = [
+        f"ensemble benchmark ({report['mode']}, {report['members']} members, "
+        f"{report['measured_ticks']} ticks x {report['repeats']} repeats)",
+        f"{'workload':<20} {'traj-ticks/s':>13} {'serial':>10} {'speedup':>8}",
+    ]
+    for key, entry in report["workloads"].items():
+        speedup = entry["speedup_vs_serial"]
+        lines.append(
+            f"{key:<20} {entry['traj_ticks_per_s']:>13.0f} "
+            f"{entry['scalar_ticks_per_s']:>10.0f} "
+            f"{(str(speedup) + 'x') if speedup is not None else '-':>8}"
+        )
+    geomean = report.get("geomean_speedup_vs_serial")
+    if geomean is not None:
+        lines.append(f"geomean speedup vs serial: {geomean}x")
+    return "\n".join(lines)
+
+
 def format_report(report: Dict[str, Any]) -> str:
     """Human-readable table of a bench report."""
     lines = [
@@ -233,6 +445,12 @@ def load_report(path: str) -> Dict[str, Any]:
         return json.load(handle)
 
 
+#: Throughput metrics the regression gate compares when both the fresh
+#: report and the baseline carry them: the scalar tick rate and the
+#: ensemble's aggregate trajectory-tick rate.
+GATED_METRICS: Tuple[str, ...] = ("ticks_per_s", "traj_ticks_per_s")
+
+
 def check_regression(
     report: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -240,10 +458,13 @@ def check_regression(
 ) -> List[str]:
     """Compare a fresh report against a committed baseline.
 
-    Returns one message per workload whose ticks/sec fell more than
-    ``max_regression`` below the baseline's (empty list = pass).
-    Workloads missing from either report are skipped: the gate guards
-    against slowdowns, not benchmark-set drift.
+    Returns one message per (workload, metric) pair whose throughput
+    fell more than ``max_regression`` below the baseline's (empty list
+    = pass).  Every metric in :data:`GATED_METRICS` present in *both*
+    entries is gated, so the same function guards the scalar bench
+    (``ticks_per_s``) and the ensemble bench (``traj_ticks_per_s``).
+    Workloads or metrics missing from either report are skipped: the
+    gate guards against slowdowns, not benchmark-set drift.
     """
     if not 0.0 <= max_regression < 1.0:
         raise ValueError("max_regression must be in [0, 1)")
@@ -253,11 +474,14 @@ def check_regression(
         reference = baseline_workloads.get(key)
         if reference is None:
             continue
-        floor = reference["ticks_per_s"] * (1.0 - max_regression)
-        if entry["ticks_per_s"] < floor:
-            failures.append(
-                f"{key}: {entry['ticks_per_s']:.0f} ticks/s is below "
-                f"{floor:.0f} (baseline {reference['ticks_per_s']:.0f} "
-                f"- {max_regression:.0%})"
-            )
+        for metric in GATED_METRICS:
+            if metric not in entry or metric not in reference:
+                continue
+            floor = reference[metric] * (1.0 - max_regression)
+            if entry[metric] < floor:
+                failures.append(
+                    f"{key}: {metric} {entry[metric]:.0f} is below "
+                    f"{floor:.0f} (baseline {reference[metric]:.0f} "
+                    f"- {max_regression:.0%})"
+                )
     return failures

@@ -269,10 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON report (default BENCH_PR3.json)",
     )
     bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="print per-workload speedup deltas vs this committed "
+        "baseline and fail (exit 1) past --max-regression",
+    )
+    bench.add_argument(
         "--check-against",
         default=None,
         metavar="BASELINE_JSON",
-        help="fail (exit 1) if ticks/sec regresses below this report",
+        help="like --compare without the delta table (older spelling)",
     )
     bench.add_argument(
         "--max-regression",
@@ -320,9 +327,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the content-addressed result cache",
     )
+    ens_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; members are split into this many "
+        "deterministic shards (results are bit-identical at any "
+        "shard count; default 1)",
+    )
+    ens_run.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a shard running longer than this",
+    )
+    ens_run.add_argument(
+        "--max-job-attempts",
+        type=int,
+        default=3,
+        help="attempts per shard before recording a failure (default 3)",
+    )
+    ens_run.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the recorded exponential retry backoff "
+        "(default 0.5)",
+    )
     ens_bench = ensemble_sub.add_parser(
         "bench",
-        help="trajectories/sec benchmark and write BENCH_PR7.json",
+        help="trajectories/sec benchmark and write BENCH_PR8.json",
     )
     ens_bench.add_argument(
         "--quick",
@@ -350,14 +386,21 @@ def build_parser() -> argparse.ArgumentParser:
     ens_bench.add_argument("--seed", type=int, default=1)
     ens_bench.add_argument(
         "--output",
-        default="BENCH_PR7.json",
-        help="where to write the JSON report (default BENCH_PR7.json)",
+        default="BENCH_PR8.json",
+        help="where to write the JSON report (default BENCH_PR8.json)",
+    )
+    ens_bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="print per-workload speedup deltas vs this committed "
+        "baseline and fail (exit 1) past --max-regression",
     )
     ens_bench.add_argument(
         "--check-against",
         default=None,
         metavar="BASELINE_JSON",
-        help="fail (exit 1) if trajectories/sec regresses below this report",
+        help="like --compare without the delta table (older spelling)",
     )
     ens_bench.add_argument(
         "--max-regression",
@@ -713,12 +756,46 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gate_bench_report(args: argparse.Namespace, report, baseline) -> int:
+    """Shared ``--compare``/``--check-against`` epilogue of both benches.
+
+    With ``--compare`` the per-workload speedup deltas are printed
+    before the gate; either flag fails (exit 1) on a regression past
+    ``--max-regression``.
+    """
+    from repro.perf import bench
+
+    baseline_path = (
+        args.compare if args.compare is not None else args.check_against
+    )
+    if args.compare is not None:
+        print(f"comparison vs {baseline_path}:")
+        for line in bench.compare_reports(report, baseline):
+            print(f"  {line}")
+    failures = bench.check_regression(
+        report, baseline, max_regression=args.max_regression
+    )
+    if failures:
+        print(f"REGRESSION vs {baseline_path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        f"no regression vs {baseline_path} "
+        f"(tolerance {args.max_regression:.0%})"
+    )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.perf import bench
 
-    baseline = None
-    if args.check_against is not None:
-        baseline = bench.load_report(args.check_against)
+    baseline_path = (
+        args.compare if args.compare is not None else args.check_against
+    )
+    baseline = (
+        bench.load_report(baseline_path) if baseline_path is not None else None
+    )
     report = bench.run_bench(
         quick=args.quick,
         ticks=args.ticks,
@@ -731,27 +808,19 @@ def _command_bench(args: argparse.Namespace) -> int:
     print(bench.format_report(report))
     print(f"report written to {args.output}")
     if baseline is not None:
-        failures = bench.check_regression(
-            report, baseline, max_regression=args.max_regression
-        )
-        if failures:
-            print(f"REGRESSION vs {args.check_against}:")
-            for failure in failures:
-                print(f"  {failure}")
-            return 1
-        print(
-            f"no regression vs {args.check_against} "
-            f"(tolerance {args.max_regression:.0%})"
-        )
+        return _gate_bench_report(args, report, baseline)
     return 0
 
 
 def _command_ensemble_bench(args: argparse.Namespace) -> int:
     from repro.perf import bench
 
-    baseline = None
-    if args.check_against is not None:
-        baseline = bench.load_report(args.check_against)
+    baseline_path = (
+        args.compare if args.compare is not None else args.check_against
+    )
+    baseline = (
+        bench.load_report(baseline_path) if baseline_path is not None else None
+    )
     report = bench.run_ensemble_bench(
         quick=args.quick,
         members=args.members,
@@ -766,28 +835,21 @@ def _command_ensemble_bench(args: argparse.Namespace) -> int:
     print(bench.format_ensemble_report(report))
     print(f"report written to {args.output}")
     if baseline is not None:
-        failures = bench.check_regression(
-            report, baseline, max_regression=args.max_regression
-        )
-        if failures:
-            print(f"REGRESSION vs {args.check_against}:")
-            for failure in failures:
-                print(f"  {failure}")
-            return 1
-        print(
-            f"no regression vs {args.check_against} "
-            f"(tolerance {args.max_regression:.0%})"
-        )
+        return _gate_bench_report(args, report, baseline)
     return 0
 
 
 def _command_ensemble_run(args: argparse.Namespace) -> int:
-    from repro.ensemble.runner import run_ensemble_job
+    from repro.ensemble.shard import run_sharded_ensemble_job
     from repro.experiments.engine.cache import ResultCache, default_cache_root
+    from repro.experiments.engine.scheduler import ExperimentEngine
     from repro.experiments.engine.spec import EnsembleJobSpec, workload_job
 
     if args.members < 1:
         print("--members must be at least 1")
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be at least 1")
         return 2
     faults = fault_config_for(args.faults)
     spec = EnsembleJobSpec(
@@ -805,26 +867,60 @@ def _command_ensemble_run(args: argparse.Namespace) -> int:
         )
     )
     cache = None if args.no_cache else ResultCache(default_cache_root())
-    summaries = run_ensemble_job(spec, cache=cache)
+    # Member-level caching happens in the sharding layer under scalar
+    # keys; the engine itself stays uncached (a shard's composite
+    # result is not one cacheable summary).
+    engine = ExperimentEngine(
+        jobs=args.jobs,
+        cache=None,
+        job_timeout_s=args.job_timeout,
+        max_job_attempts=args.max_job_attempts,
+        retry_backoff_s=args.retry_backoff,
+    )
+    report = run_sharded_ensemble_job(spec, engine, cache=cache)
     print(
         f"{'seed':>6} {'avg C':>8} {'peak C':>8} {'aging yr':>9} "
         f"{'cyc yr':>9} {'thr/s':>9} {'done':>5}"
     )
-    for member, summary in zip(spec.members, summaries):
+    completed = []
+    for member, summary in zip(spec.members, report.summaries):
+        if summary is None:
+            print(f"{member.seed:6d} {'-- shard failed; see below --':>48}")
+            continue
+        completed.append(summary)
         print(
             f"{member.seed:6d} {summary.average_temp_c:8.2f} "
             f"{summary.peak_temp_c:8.2f} {summary.aging_mttf_years:9.2f} "
             f"{summary.cycling_mttf_years:9.2f} {summary.throughput:9.4f} "
             f"{'yes' if summary.completed else 'no':>5}"
         )
-    count = len(summaries)
+    count = len(completed)
+    if count:
+        print(
+            f"ensemble of {count}: "
+            f"mean avg "
+            f"{sum(s.average_temp_c for s in completed) / count:.2f} C, "
+            f"mean aging MTTF "
+            f"{sum(s.aging_mttf_years for s in completed) / count:.2f} yr"
+        )
+    stats = engine.stats.as_dict()
     print(
-        f"ensemble of {count}: "
-        f"mean avg {sum(s.average_temp_c for s in summaries) / count:.2f} C, "
-        f"mean aging MTTF "
-        f"{sum(s.aging_mttf_years for s in summaries) / count:.2f} yr"
+        f"{report.cache_hits} member(s) from cache, "
+        f"{report.executed_members} executed across "
+        f"{report.shards} shard(s); "
+        f"recovered: {stats.get('retried', 0)} retried attempt(s), "
+        f"{stats.get('timeouts', 0)} timeout(s), "
+        f"{stats.get('pool_restarts', 0)} pool restart(s)"
     )
-    return 0
+    for failure in report.failures:
+        suffix = ", timed out" if failure.timed_out else ""
+        print(
+            f"FAILED {failure.label} [{failure.key[:12]}] "
+            f"{failure.error_type}: {failure.message} "
+            f"({failure.attempts} attempts, "
+            f"{failure.duration_s:.1f} s{suffix})"
+        )
+    return 0 if report.ok else 1
 
 
 def _command_ensemble(args: argparse.Namespace) -> int:

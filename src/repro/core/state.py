@@ -20,12 +20,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.config import ReliabilityConfig
-from repro.reliability.aging import mean_aging_rate
-from repro.reliability.rainflow import count_cycles
-from repro.reliability.stress import thermal_stress
+from repro.units import BOLTZMANN_EV, celsius_to_kelvin
+
+#: Cap on the per-StateSpace memo tables.  Sensor quantisation keeps the
+#: distinct temperature population small in practice; the cap only guards
+#: unquantised configurations against unbounded growth.
+_CACHE_LIMIT = 65536
 
 #: Stress rate (per second) that normalises to 1.0: several times the
 #: accrual rate of the calibration reference profile, i.e. sustained
@@ -84,6 +87,12 @@ class StateSpace:
         self.num_stress_bins = num_stress_bins
         self.num_aging_bins = num_aging_bins
         self.reliability = reliability
+        # Memo tables for the Arrhenius evaluations of Eqs. 1 and 6.
+        # Sensor readings are quantised, so the same temperatures recur
+        # every epoch; memoising the *unchanged* expressions keeps the
+        # results bit-identical while skipping most math.exp calls.
+        self._aging_rate_cache: Dict[float, float] = {}
+        self._cycle_stress_cache: Dict[Tuple[float, float, float], float] = {}
 
     @property
     def num_states(self) -> int:
@@ -93,6 +102,110 @@ class StateSpace:
     # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
+
+    def _aging_rate(self, temp_c: float) -> float:
+        """Memoised :func:`repro.reliability.aging.aging_rate`."""
+        cached = self._aging_rate_cache.get(temp_c)
+        if cached is None:
+            config = self.reliability
+            t_ref_k = celsius_to_kelvin(config.reference_temp_c)
+            t_k = celsius_to_kelvin(temp_c)
+            exponent = (config.aging_activation_energy_ev / BOLTZMANN_EV) * (
+                1.0 / t_ref_k - 1.0 / t_k
+            )
+            cached = math.exp(exponent)
+            if len(self._aging_rate_cache) >= _CACHE_LIMIT:
+                self._aging_rate_cache.clear()
+            self._aging_rate_cache[temp_c] = cached
+        return cached
+
+    def _mean_aging_rate(self, series_c: Sequence[float]) -> float:
+        """Memoised :func:`repro.reliability.aging.mean_aging_rate`."""
+        if not len(series_c):
+            return 1.0
+        return sum(self._aging_rate(t) for t in series_c) / len(series_c)
+
+    def _pair_stress(self, first: float, second: float, count: float) -> float:
+        """Memoised Eq. 6 contribution of one counted reversal pair.
+
+        Equivalent to ``cycle_stress(_make_cycle(first, second, count))``
+        from :mod:`repro.reliability`; the expression is unchanged, only
+        memoised on the cycle's ``(amplitude, max, count)`` signature.
+        """
+        high = max(first, second)
+        low = min(first, second)
+        key = (high - low, high, count)
+        cached = self._cycle_stress_cache.get(key)
+        if cached is None:
+            config = self.reliability
+            effective_amplitude = key[0] - config.elastic_threshold_k
+            if effective_amplitude <= 0.0:
+                cached = 0.0
+            else:
+                t_max_k = celsius_to_kelvin(high)
+                arrhenius = math.exp(
+                    -config.cycling_activation_energy_ev
+                    / (BOLTZMANN_EV * t_max_k)
+                )
+                cached = (
+                    count
+                    * effective_amplitude**config.coffin_manson_exponent
+                    * arrhenius
+                )
+            if len(self._cycle_stress_cache) >= _CACHE_LIMIT:
+                self._cycle_stress_cache.clear()
+            self._cycle_stress_cache[key] = cached
+        return cached
+
+    def _series_stress(self, series: Sequence[float]):
+        """``thermal_stress(count_cycles(series), ...)`` fused.
+
+        Runs the same Downing-Socie pass as
+        :func:`repro.reliability.rainflow.count_cycles` but folds every
+        counted cycle straight into the memoised Eq. 6 sum instead of
+        materialising :class:`ThermalCycle` objects.  Contribution order
+        and float arithmetic are identical to the unfused composition.
+        """
+        collapsed = []
+        for value in series:
+            if not collapsed or value != collapsed[-1]:
+                collapsed.append(float(value))
+        # sum() over an empty cycle list yields int 0; keep that exact.
+        total = 0
+        if len(collapsed) < 2:
+            return total
+        reversals = [collapsed[0]]
+        for index in range(1, len(collapsed) - 1):
+            previous, current, following = (
+                collapsed[index - 1],
+                collapsed[index],
+                collapsed[index + 1],
+            )
+            if (current - previous) * (following - current) < 0.0:
+                reversals.append(current)
+        reversals.append(collapsed[-1])
+
+        pair_stress = self._pair_stress
+        stack = []
+        for point in reversals:
+            stack.append(point)
+            while len(stack) >= 3:
+                x_range = abs(stack[-1] - stack[-2])
+                y_range = abs(stack[-2] - stack[-3])
+                if x_range < y_range:
+                    break
+                if len(stack) == 3:
+                    if y_range > 0.0:
+                        total = total + pair_stress(stack[0], stack[1], 0.5)
+                    stack.pop(0)
+                else:
+                    if y_range > 0.0:
+                        total = total + pair_stress(stack[-3], stack[-2], 1.0)
+                    del stack[-3:-1]
+        for index in range(len(stack) - 1):
+            if stack[index] != stack[index + 1]:
+                total = total + pair_stress(stack[index], stack[index + 1], 0.5)
+        return total
 
     def observe(
         self,
@@ -137,7 +250,7 @@ class StateSpace:
                 context = [x for x in context_samples[core] if math.isfinite(x)]
                 stress_series = context + series
             duration = len(stress_series) * sample_period_s
-            stress = thermal_stress(count_cycles(stress_series), self.reliability)
+            stress = self._series_stress(stress_series)
             worst_stress_rate = max(worst_stress_rate, stress / duration)
             # Aging is judged on the trailing half of the epoch: the
             # epoch that follows an actuation change starts at the old
@@ -146,7 +259,7 @@ class StateSpace:
             # drives the core to.
             trailing = series[len(series) // 2 :]
             worst_aging_rate = max(
-                worst_aging_rate, mean_aging_rate(trailing, self.reliability)
+                worst_aging_rate, self._mean_aging_rate(trailing)
             )
         return EpochObservation(
             stress_norm=min(1.0, worst_stress_rate / STRESS_RATE_FULL_SCALE),

@@ -19,7 +19,7 @@ The engine splits the system into two planes:
 * **control plane** (one member, occasionally) — thermal managers, fault
   injectors and management-path sensor banks stay *real scalar objects*.
   When a member's manager is due it runs unchanged against a
-  :class:`~repro.ensemble.member.MemberView`, so every Q-table update
+  :class:`~repro.ensemble.member_view.MemberView`, so every Q-table update
   and exploration draw is bit-identical by construction.
 
 Managers are gated by a per-member next-fire time harvested from their
@@ -50,12 +50,14 @@ from repro.checkpoint.state import (
     restore_fault_injector,
 )
 from repro.ensemble.governors import BatchedGovernors
-from repro.ensemble.member import MemberView
+from repro.ensemble.managers import BatchedControlPlane
+from repro.ensemble.member_view import MemberView
 from repro.ensemble.power_thermal import BatchedChip
 from repro.ensemble.sched import BatchedPerf, BatchedScheduler
 from repro.ensemble.sensors import BatchedEvalSensors
 from repro.ensemble.workloads import BatchedWorkloads
 from repro.faults.injector import FaultInjector
+from repro.perf.timer import SectionTimer
 from repro.power.energy import EnergyMeter
 from repro.sched.affinity import AffinityMapping
 from repro.sched.perf import PerfCounters
@@ -253,6 +255,22 @@ class EnsembleSimulation:
         # on ticks where nothing can possibly have finished.
         self._min_max_time = float(np.min(self._max_time_vec))
         self._prepared = False
+        # Built in prepare() (after managers attach): the vectorized
+        # control plane for proposed-manager members.
+        self._control: Optional[BatchedControlPlane] = None
+        self._timer: Optional[SectionTimer] = None
+
+    def attach_timer(self, timer: Optional[SectionTimer]) -> None:
+        """Attach (or detach, with None) per-phase tick-loop accounting.
+
+        Section names mirror the scalar loop's (schedule/app/governor/
+        sensors/manager) plus ``chip`` (the batched power+thermal step)
+        and ``advance`` (run-loop bookkeeping), so a report reads the
+        same either way: ``manager`` is the control plane, everything
+        else the data plane.  With no timer attached each phase pays one
+        ``is not None`` check.
+        """
+        self._timer = timer
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -268,6 +286,7 @@ class EnsembleSimulation:
                 self.mgr_next[member] = _manager_next_fire(state.manager)
         for member in range(self.num_members):
             self._start_next_app(member)
+        self._control = BatchedControlPlane(self)
         self._prepared = True
 
     def _start_next_app(self, member: int) -> bool:
@@ -331,7 +350,10 @@ class EnsembleSimulation:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Mirror of ``Simulation.step`` across the whole ensemble."""
+        timer = self._timer
         dt = self.dt
+        if timer is not None:
+            mark = timer.now()
         # The scalar loop snapshots governor frequencies at the top of
         # the tick; the governor update below must not feed back into
         # this tick's chip step.  ``update`` always rebinds ``freq`` to
@@ -340,21 +362,35 @@ class EnsembleSimulation:
         # current array IS the snapshot; no defensive copy needed.
         freq_used = self.governors.freq
         util, activity = self.scheduler.tick(freq_used, dt)
+        if timer is not None:
+            mark = timer.lap("schedule", mark)
         self.workloads.tick(dt)
+        if timer is not None:
+            mark = timer.lap("app", mark)
         self.governors.update(util)
+        if timer is not None:
+            mark = timer.lap("governor", mark)
         self.chip.step(activity, freq_used, dt)
         self.now += dt
+        if timer is not None:
+            mark = timer.lap("chip", mark)
 
         if self.now + 1e-9 >= self._next_eval_s:
             reading = self.eval_sensors.read(self.chip.core_temps())
             self._append_eval(reading)
             self._next_eval_s += self.eval_sample_period_s
+        if timer is not None:
+            mark = timer.lap("sensors", mark)
 
         # ``_mgr_min`` is a monotone lower bound on the earliest active
         # manager fire time (stale values are only ever too low, which
         # just costs a recompute), so most ticks skip the member scan.
         if self.now + 1e-9 >= self._mgr_min:
             due = np.nonzero(self.active & (self.now + 1e-9 >= self.mgr_next))[0]
+            if due.size:
+                # Batched members take the vectorized sample/decide
+                # path; whatever remains runs the scalar loop.
+                due = self._control.on_tick(due)
             for member in due:
                 manager = self.members[member].manager
                 manager.on_tick(self.views[member])
@@ -362,6 +398,9 @@ class EnsembleSimulation:
             self._mgr_min = float(
                 np.min(np.where(self.active, self.mgr_next, math.inf))
             )
+        if timer is not None:
+            timer.lap("manager", mark)
+            timer.count_tick()
 
     def _append_eval(self, reading: np.ndarray) -> None:
         capacity = self._profile_buf.shape[2]
@@ -377,6 +416,15 @@ class EnsembleSimulation:
 
     def advance(self) -> None:
         """Mirror of the scalar run loop's bookkeeping after one step."""
+        timer = self._timer
+        if timer is None:
+            self._advance()
+            return
+        mark = timer.now()
+        self._advance()
+        timer.lap("advance", mark)
+
+    def _advance(self) -> None:
         w = self.workloads
         # ``done_dirty`` is conservative: it is set whenever any thread
         # may have entered DONE, so a clear flag plus a clock short of
@@ -433,6 +481,8 @@ class EnsembleSimulation:
                 "ensemble still has active members; run() to completion "
                 "before collecting results"
             )
+        if self._control is not None:
+            self._control.sync_out()
         out: List[SimulationResult] = []
         for member in range(self.num_members):
             state = self.members[member]
@@ -476,6 +526,10 @@ class EnsembleSimulation:
     # ------------------------------------------------------------------
     def capture(self) -> dict:
         """In-memory snapshot of the whole ensemble at a tick boundary."""
+        if self._control is not None:
+            # Flush the stacked control-plane state onto the scalar
+            # facade the checkpoint helpers read.
+            self._control.sync_out()
         return {
             "now": self.now,
             "next_eval_s": self._next_eval_s,
@@ -567,6 +621,9 @@ class EnsembleSimulation:
                 int(self.app_index[member]), len(mem.applications) - 1
             )
             self.workloads._rngs[member] = mem.applications[index]._rng
+        if self._control is not None:
+            # Re-adopt the restored scalar agents into the stacked arrays.
+            self._control.sync_in()
         self.workloads.restore(state["workloads"])
         self.scheduler.restore(state["scheduler"])
         self.governors.restore(state["governors"])

@@ -87,11 +87,22 @@ class BatchedPerf:
         self.cache_misses[member] = self.cache_misses[member] + _MISSES_PER_SAMPLE
         self.page_faults[member] = self.page_faults[member] + _FAULTS_PER_SAMPLE
 
+    def record_sample_event_rows(self, rows: np.ndarray) -> None:
+        """Batched twin of :meth:`record_sample_event_row` (same ops)."""
+        self.sample_events[rows] += 1
+        self.cache_misses[rows] = self.cache_misses[rows] + _MISSES_PER_SAMPLE
+        self.page_faults[rows] = self.page_faults[rows] + _FAULTS_PER_SAMPLE
+
     def record_decision_event_row(self, member: int) -> None:
         self.decision_events[member] += 1
         self.cache_misses[member] = (
             self.cache_misses[member] + _MISSES_PER_DECISION
         )
+
+    def record_decision_event_rows(self, rows: np.ndarray) -> None:
+        """Batched twin of :meth:`record_decision_event_row` (same ops)."""
+        self.decision_events[rows] += 1
+        self.cache_misses[rows] = self.cache_misses[rows] + _MISSES_PER_DECISION
 
     def capture(self) -> dict:
         return {
@@ -149,6 +160,12 @@ class BatchedScheduler:
         # run on core c (all-True rows when the member has no mapping).
         self.allowed = np.ones((m, t, c), dtype=bool)
         self.num_allowed = np.full((m, t), c, dtype=np.int64)
+        # pull_ok[m, c]: some slot of member m may run on core c.  When
+        # False, an idle-pull toward c can never find a movable slot
+        # (``allowed`` appears conjunctively in the movability test), so
+        # the scan is skipped — the scalar scheduler scans and fails.
+        # Maintained wherever ``allowed`` is written.
+        self.pull_ok = np.ones((m, c), dtype=bool)
         self.has_mapping = np.zeros(m, dtype=bool)
         # Ensemble-wide shortcut: when no member has a mapping the tick
         # skips the affinity-mask pipeline entirely (it is a no-op then).
@@ -386,6 +403,7 @@ class BatchedScheduler:
                 row = np.ones(self.num_cores, dtype=bool)
             self.allowed[member, j] = row
             self.num_allowed[member, j] = int(row.sum())
+        self.pull_ok[member] = self.allowed[member].any(axis=0)
         self._refresh_counts_row(member)
         for j in range(t):
             core = int(self.core[member, j])
@@ -400,6 +418,7 @@ class BatchedScheduler:
         self._has_mapping_list[member] = False
         self.allowed[member, :, :] = True
         self.num_allowed[member, :] = self.num_cores
+        self.pull_ok[member] = True
         if self._any_mapping:
             self._any_mapping = bool(self.has_mapping.any())
         self._refresh_counts_row(member)
@@ -408,6 +427,12 @@ class BatchedScheduler:
         if seconds < 0.0:
             raise ValueError("stall cannot be negative")
         self.stall_s[member] = self.stall_s[member] + seconds
+
+    def stall_all_rows(self, rows: np.ndarray, seconds: float) -> None:
+        """Batched twin of :meth:`stall_all_row` (same arithmetic)."""
+        if seconds < 0.0:
+            raise ValueError("stall cannot be negative")
+        self.stall_s[rows] = self.stall_s[rows] + seconds
 
     # ------------------------------------------------------------------
     # Vectorized helpers
@@ -654,23 +679,55 @@ class BatchedScheduler:
             # per-core ``heavy`` gate would reject the rest anyway) and
             # skips the whole scan during sync windows when counts is 0.
             donors = self.counts.max(axis=1) >= 2
-            ripe = ripe & donors[:, None]
-            for core_id in ripe.any(axis=0).nonzero()[0]:
-                rows = ripe[:, core_id].nonzero()[0]
-                busiest = np.argmax(self.counts[rows], axis=1)
-                heavy = self.counts[rows, busiest] >= 2
-                rows = rows[heavy]
-                if not rows.size:
-                    continue
-                src = busiest[heavy]
-                dst = np.full(rows.size, core_id, dtype=np.int64)
-                found, slots = self._first_movable_vec(rows, src, dst)
-                if found.any():
-                    moved = True
-                    self._move_rows(
-                        rows[found], slots[found], src[found], dst[found]
-                    )
-                    self.idle_for_s[rows[found], core_id] = 0.0
+            ripe = ripe & donors[:, None] & self.pull_ok
+            # The sequential per-core walk only couples *within* a
+            # member (an earlier core's successful pull stalls the moved
+            # thread and shifts counts; members never read each other's
+            # state), and a *failed* attempt writes nothing.  So every
+            # ripe (member, core) pair is scanned in one batch against
+            # the pre-pull state, and per member the first hit in core
+            # order is exactly the walk's first pull.  Only the rare
+            # member that pulled *and* has later ripe cores re-walks
+            # those cores against its updated state.  The donor
+            # prefilter above doubles as the walk's live ``heavy`` gate
+            # for the batch: before a member's first move its counts are
+            # untouched, and argmax over an unchanged row picks the same
+            # busiest core.
+            pair_m, pair_c = ripe.nonzero()  # member-major, cores ascending
+            src = np.argmax(self.counts[pair_m], axis=1)
+            found, slots = self._first_movable_vec(pair_m, src, pair_c)
+            if found.any():
+                moved = True
+                hits = found.nonzero()[0]
+                hit_m = pair_m[hits]
+                first = np.ones(hit_m.size, dtype=bool)
+                first[1:] = hit_m[1:] != hit_m[:-1]
+                hits = hits[first]
+                pull_m = pair_m[hits]
+                pull_c = pair_c[hits]
+                self._move_rows(pull_m, slots[hits], src[hits], pull_c)
+                self.idle_for_s[pull_m, pull_c] = 0.0
+                for i, member in enumerate(pull_m.tolist()):
+                    later = ripe[member].nonzero()[0]
+                    later = later[later > pull_c[i]]
+                    for core_id in later.tolist():
+                        row = np.array([member], dtype=np.int64)
+                        busiest = int(np.argmax(self.counts[member]))
+                        if self.counts[member, busiest] < 2:
+                            continue
+                        f1, s1 = self._first_movable_vec(
+                            row,
+                            np.array([busiest], dtype=np.int64),
+                            np.array([core_id], dtype=np.int64),
+                        )
+                        if f1[0]:
+                            self._move_rows(
+                                row,
+                                s1,
+                                np.array([busiest], dtype=np.int64),
+                                np.array([core_id], dtype=np.int64),
+                            )
+                            self.idle_for_s[member, core_id] = 0.0
         # --- Phase 2b: periodic rebalance ------------------------------
         self.since_rebalance_s = self.since_rebalance_s + dt
         # The slack countdown mirrors min(period - since) to within a
@@ -848,6 +905,7 @@ class BatchedScheduler:
                 continue
             getattr(self, name)[...] = value
         self.mapping_objs = list(state["mapping_objs"])
+        self.pull_ok = self.allowed.any(axis=1)
         self._any_mapping = bool(self.has_mapping.any())
         self._has_mapping_list = [bool(x) for x in self.has_mapping.tolist()]
         self._busy_list = self.busy_ewma.tolist()

@@ -3,7 +3,7 @@
 Mirrors :class:`repro.thermal.sensors.SensorBank` for the *evaluation*
 sensors (the per-second thermal-profile readings).  The management-path
 banks stay scalar objects — they are only read when a member's manager
-fires, through the :class:`~repro.ensemble.member.MemberView` — but the
+fires, through the :class:`~repro.ensemble.member_view.MemberView` — but the
 evaluation read happens for every member every evaluation tick, so it is
 worth batching.
 

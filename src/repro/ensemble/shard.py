@@ -1,0 +1,156 @@
+"""Process sharding of ensemble jobs.
+
+Splits one :class:`~repro.experiments.engine.spec.EnsembleJobSpec` into
+per-process member shards and runs each shard — itself a smaller
+ensemble job — under the hardened experiment engine, so sharded
+execution inherits the engine's per-job timeouts, bounded retries and
+worker-pool recovery.
+
+Correctness rests on two already-established invariants:
+
+* **Cross-member isolation** — a member's results never depend on which
+  other members share its ensemble (see
+  :func:`repro.ensemble.runner.run_ensemble_workloads`), so *any*
+  partition of the member list reproduces the unsharded results
+  bit-for-bit.  This module still fixes one canonical partition
+  (contiguous, balanced, order-preserving) so shard job specs — and
+  hence their content hashes and failure records — are deterministic
+  for a given ``(spec, shards)`` pair.
+* **Scalar/vector cache equivalence** — every member summary is
+  bit-identical to what the scalar runner would produce, so members are
+  cached under their own scalar
+  :func:`~repro.experiments.engine.spec.job_key`, exactly like
+  :func:`~repro.ensemble.runner.run_ensemble_job`.  Shards therefore
+  expand to the same per-seed cache keys as serial and unsharded runs,
+  and all three populate one shared cache.
+
+Checkpointing note: ensemble state snapshots live in process memory
+(:meth:`~repro.ensemble.engine.EnsembleSimulation.capture`), so the
+engine's *disk* checkpoint settings do not apply to ensemble shards;
+crash recovery for sharded runs comes from member-level caching (a
+re-run only re-simulates members whose summaries were never stored) and
+from the engine's retry machinery re-running a failed shard whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.experiments.engine.scheduler import ExperimentEngine, JobFailure
+from repro.experiments.engine.spec import EnsembleJobSpec, ensemble_job
+from repro.experiments.runner import RunSummary
+
+
+def shard_members(count: int, shards: int) -> List[range]:
+    """Deterministic contiguous member->shard partition.
+
+    Members keep their order; the first ``count % shards`` shards get
+    one extra member (``np.array_split`` semantics).  Requesting more
+    shards than members yields one single-member shard per member.
+    """
+    if count < 0:
+        raise ValueError(f"member count must be >= 0, got {count}")
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    shards = min(shards, count)
+    ranges: List[range] = []
+    if shards == 0:
+        return ranges
+    base, extra = divmod(count, shards)
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+@dataclass
+class ShardedRunReport:
+    """Outcome of one sharded ensemble job.
+
+    ``summaries`` aligns index-for-index with the job's members; a
+    member of a shard that exhausted its retries is ``None`` and the
+    shard's structured :class:`JobFailure` appears in ``failures``.
+    """
+
+    summaries: List[Optional[RunSummary]] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
+    shards: int = 0
+    cache_hits: int = 0
+    executed_members: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every member produced a summary."""
+        return not self.failures and all(
+            summary is not None for summary in self.summaries
+        )
+
+
+def run_sharded_ensemble_job(
+    spec: EnsembleJobSpec,
+    engine: ExperimentEngine,
+    cache=None,
+) -> ShardedRunReport:
+    """Execute an ensemble job as ``engine.jobs`` member shards.
+
+    Cache hits are resolved per member *before* sharding (so shard
+    boundaries depend only on the pending set, and a warm cache runs
+    nothing at all); fresh member summaries are stored per member as
+    shards complete.  With ``engine.jobs == 1`` the single shard runs
+    inline through the engine's serial path — still with bounded
+    retries — and is call-for-call identical to
+    :func:`~repro.ensemble.runner.run_ensemble_job` on a cold cache.
+
+    Parameters
+    ----------
+    spec:
+        The ensemble job to execute.
+    engine:
+        Hardened engine supplying parallelism (``jobs``), per-shard
+        timeouts and bounded retries.  The engine's own result cache is
+        not consulted — composite shard results are never cached as
+        such; pass the member-level cache separately.
+    cache:
+        Optional :class:`~repro.experiments.engine.cache.ResultCache`
+        holding per-member scalar summaries.
+    """
+    members = list(spec.members)
+    report = ShardedRunReport(summaries=[None] * len(members))
+    pending: List[int] = []
+    if cache is not None:
+        for index, member in enumerate(members):
+            hit = cache.get(member)
+            if hit is not None:
+                report.summaries[index] = hit
+                report.cache_hits += 1
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(members)))
+    if not pending:
+        return report
+
+    pending_specs = [members[index] for index in pending]
+    parts = shard_members(len(pending), max(1, engine.jobs))
+    shard_specs: Sequence[EnsembleJobSpec] = [
+        ensemble_job([pending_specs[local] for local in part])
+        for part in parts
+    ]
+    report.shards = len(shard_specs)
+    outcomes, failures = engine.run_collect(shard_specs)
+    report.failures.extend(failures)
+    for shard_index, part in enumerate(parts):
+        shard_summaries = outcomes.get(shard_index)
+        if shard_summaries is None:
+            continue
+        for offset, local in enumerate(part):
+            index = pending[local]
+            summary = shard_summaries[offset]
+            report.summaries[index] = summary
+            report.executed_members += 1
+            if cache is not None:
+                cache.put(members[index], summary)
+    return report

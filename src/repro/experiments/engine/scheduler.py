@@ -246,6 +246,34 @@ class ExperimentEngine:
             self._fold_metrics(len(specs), len(pending), ordered)
         return ordered
 
+    def run_collect(
+        self, specs: Sequence[JobSpec]
+    ) -> Tuple[Dict[int, RunSummary], List[JobFailure]]:
+        """Execute specs through the hardened paths, collecting failures.
+
+        Unlike :meth:`run` this never raises on exhausted jobs — the
+        caller receives the outcomes that did complete (keyed by spec
+        index) alongside the structured failures — and it skips
+        deduplication, cache lookup and metrics folding.  Callers that
+        manage their own result granularity (per-member caching of
+        ensemble shards in :mod:`repro.ensemble.shard`) use it to get
+        timeouts, retries and pool recovery without the engine treating
+        a composite result as one cacheable summary.  Failures still
+        accumulate in :attr:`failures` and count in :attr:`stats`.
+        """
+        jobs = dict(enumerate(specs))
+        self.stats.submitted += len(jobs)
+        if not jobs:
+            return {}, []
+        self.stats.executed += len(jobs)
+        if self.jobs == 1 or len(jobs) == 1:
+            outcomes, failures = self._execute_serial(jobs)
+        else:
+            outcomes, failures = self._execute_parallel(jobs)
+        if failures:
+            self.failures.extend(failures)
+        return outcomes, failures
+
     # ------------------------------------------------------------------
     # Hardened execution paths
     # ------------------------------------------------------------------
@@ -259,8 +287,12 @@ class ExperimentEngine:
 
         Caching per-arrival (instead of per-batch) means a crash of the
         driver process loses at most the jobs still in flight.
+
+        Composite outcomes (an ensemble shard's list of member
+        summaries) are not cached here — their members are cached
+        individually, under scalar keys, by the sharding layer.
         """
-        if self.cache is not None:
+        if self.cache is not None and isinstance(summary, RunSummary):
             self.cache.put(spec, summary)
 
     def _failure(

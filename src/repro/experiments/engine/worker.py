@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import shutil
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.experiments.engine.spec import EnsembleJobSpec, JobSpec, job_key
 from repro.experiments.runner import RunSummary, run_scenario, run_workload
@@ -21,12 +21,16 @@ def job_checkpoint_dir(checkpoint_root: Union[str, Path], spec: JobSpec) -> Path
 
 
 def execute_job(
-    spec: JobSpec,
+    spec: Union[JobSpec, EnsembleJobSpec],
     checkpoint_every: Optional[int] = None,
     checkpoint_root: Optional[str] = None,
     resume: bool = False,
-) -> RunSummary:
+) -> Union[RunSummary, "List[RunSummary]"]:
     """Execute one job spec serially in this process.
+
+    An :class:`EnsembleJobSpec` runs through the vectorized ensemble
+    engine and yields one ``RunSummary`` per member, in member order;
+    a scalar spec yields its single summary.
 
     Parameters
     ----------
@@ -40,7 +44,18 @@ def execute_job(
         directory (keyed by the spec hash) and, with ``resume``,
         restarts from the newest valid checkpoint there.  The directory
         is removed once the job completes.
+
+        Ensemble shards are exempt: their snapshots live in process
+        memory (``EnsembleSimulation.capture``), so disk checkpoint
+        settings are ignored for :class:`EnsembleJobSpec` jobs — crash
+        recovery for those comes from member-level result caching.
     """
+    if isinstance(spec, EnsembleJobSpec):
+        # Lazy import: workers running scalar jobs never pay for the
+        # ensemble machinery.
+        from repro.ensemble.runner import run_ensemble_workloads
+
+        return run_ensemble_workloads(spec.members)
     checkpoint_dir: Optional[str] = None
     if checkpoint_root is not None:
         checkpoint_dir = str(job_checkpoint_dir(checkpoint_root, spec))

@@ -26,17 +26,36 @@ harness — and reports **trajectory-ticks/sec** (ensemble ticks/sec
 times the member count): the aggregate simulation throughput a serial
 sweep over the same member list achieves one trajectory at a time.
 
+The ensemble report also carries the per-phase split of the vectorized
+tick (the ensemble engine accepts the same
+:class:`~repro.perf.timer.SectionTimer`) and a **shard-scaling**
+section: the same complete ensemble job timed at several ``--jobs``
+settings through :func:`repro.ensemble.shard.run_sharded_ensemble_job`
+(:func:`measure_shard_scaling`) — results are bit-identical at every
+shard count, so the section isolates pure execution scaling, bounded by
+the recorded ``cpu_count``.
+
 Scalar reports are written to ``BENCH_PR3.json``, ensemble reports to
-``BENCH_PR7.json``; CI reruns both in ``--quick`` mode and fails when
+``BENCH_PR8.json``; CI reruns both in ``--quick`` mode and fails when
 a shared metric regresses more than 30% below the committed numbers
-(see ``--check-against``).
+(see ``--compare``/:func:`compare_reports`).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
-from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.experiments.runner import _make_app, build_manager
 from repro.ioutil import atomic_write_text
@@ -152,7 +171,12 @@ def _measure_once(
 
 
 def _measure_ensemble_once(
-    app: str, policy: str, members: int, ticks: int, seed: int
+    app: str,
+    policy: str,
+    members: int,
+    ticks: int,
+    seed: int,
+    timer: Optional[SectionTimer] = None,
 ) -> Tuple[int, float]:
     """One fresh ensemble run: warm up, then step ``ticks`` under the clock.
 
@@ -173,6 +197,8 @@ def _measure_ensemble_once(
     for _ in range(WARMUP_TICKS):
         ensemble.step()
         ensemble.advance()
+    if timer is not None:
+        ensemble.attach_timer(timer)
 
     def step() -> bool:
         ensemble.step()
@@ -180,6 +206,72 @@ def _measure_ensemble_once(
         return not bool(ensemble.active.all())
 
     return _timed_ticks(step, ticks)
+
+
+def measure_shard_scaling(
+    app: str,
+    policy: str,
+    members: int,
+    seed: int,
+    jobs_list: Sequence[int],
+    iteration_scale: float,
+) -> Dict[str, Any]:
+    """Wall-clock of one complete ensemble job at several shard counts.
+
+    Runs the *same* :class:`EnsembleJobSpec` (uncached, to completion)
+    through :func:`repro.ensemble.shard.run_sharded_ensemble_job` once
+    per entry of ``jobs_list`` and reports elapsed seconds plus speedup
+    over the first entry.  Results are bit-identical at every shard
+    count, so this measures pure execution scaling; the attainable
+    speedup is bounded by ``cpu_count`` (recorded in the report — on a
+    single-core host the expected scaling is flat).
+    """
+    from repro.ensemble.shard import run_sharded_ensemble_job
+    from repro.experiments.engine.scheduler import ExperimentEngine
+    from repro.experiments.engine.spec import EnsembleJobSpec, workload_job
+
+    spec = EnsembleJobSpec(
+        members=tuple(
+            workload_job(
+                app,
+                policy=policy,
+                seed=seed + offset,
+                iteration_scale=iteration_scale,
+            )
+            for offset in range(members)
+        )
+    )
+    runs = []
+    base_elapsed: Optional[float] = None
+    for jobs in jobs_list:
+        engine = ExperimentEngine(jobs=jobs, cache=None)
+        start = time.perf_counter()
+        report = run_sharded_ensemble_job(spec, engine, cache=None)
+        elapsed = time.perf_counter() - start
+        if not report.ok:
+            raise RuntimeError(
+                f"shard-scaling run failed at jobs={jobs}: {report.failures}"
+            )
+        if base_elapsed is None:
+            base_elapsed = elapsed
+        runs.append(
+            {
+                "jobs": jobs,
+                "shards": report.shards,
+                "elapsed_s": round(elapsed, 2),
+                "speedup_vs_jobs1": (
+                    round(base_elapsed / elapsed, 2) if elapsed > 0.0 else None
+                ),
+            }
+        )
+    return {
+        "app": app,
+        "policy": policy,
+        "members": members,
+        "iteration_scale": iteration_scale,
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+    }
 
 
 def run_bench(
@@ -275,16 +367,21 @@ def run_ensemble_bench(
     repeats: Optional[int] = None,
     scalar_ticks: Optional[int] = None,
     seed: int = 1,
+    shard_jobs: Optional[Sequence[int]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, Any]:
-    """Benchmark the ensemble engine and build the ``BENCH_PR7`` report.
+    """Benchmark the ensemble engine and build the ``BENCH_PR8`` report.
 
     For each workload in the shared mix, measures (a) the scalar tick
     loop — the honest serial baseline, one trajectory at a time — and
     (b) an ensemble of ``members`` copies of the workload at distinct
     seeds, both through :func:`_timed_ticks`.  The headline metric is
     ``traj_ticks_per_s`` = ensemble ticks/sec x members: aggregate
-    simulated trajectory-ticks per wall-clock second.
+    simulated trajectory-ticks per wall-clock second.  A further
+    instrumented ensemble run records the per-phase split (``manager``
+    is the control plane; the rest the data plane), and a shard-scaling
+    section times one complete agent-bound ensemble job at each entry
+    of ``shard_jobs``.
 
     Parameters
     ----------
@@ -303,6 +400,9 @@ def run_ensemble_bench(
         Measured ticks per scalar-baseline run.
     seed:
         Base seed; member ``i`` runs at ``seed + i``.
+    shard_jobs:
+        ``--jobs`` settings timed by the shard-scaling section
+        (default ``(1, 2, 4)``, quick ``(1, 2)``; empty disables it).
     progress:
         Optional sink for one line per finished workload.
     """
@@ -314,6 +414,8 @@ def run_ensemble_bench(
         repeats = 1 if quick else 2
     if scalar_ticks is None:
         scalar_ticks = 3000 if quick else 20000
+    if shard_jobs is None:
+        shard_jobs = (1, 2) if quick else (1, 2, 4)
     if members <= 0:
         raise ValueError("members must be positive")
     if ticks <= 0 or scalar_ticks <= 0:
@@ -336,6 +438,11 @@ def run_ensemble_bench(
                 w.app, w.policy, members, ticks, seed
             ),
         )
+        timer = SectionTimer()
+        _measure_ensemble_once(
+            workload.app, workload.policy, members, ticks, seed, timer=timer
+        )
+        phase_seconds = timer.totals()
         traj_rate = ensemble_rate * members
         speedup = traj_rate / scalar_rate if scalar_rate > 0.0 else None
         if speedup is not None:
@@ -352,6 +459,12 @@ def run_ensemble_bench(
             "speedup_vs_serial": (
                 round(speedup, 2) if speedup is not None else None
             ),
+            "phase_seconds": {
+                k: round(v, 4) for k, v in phase_seconds.items()
+            },
+            "phase_fractions": {
+                k: round(v, 3) for k, v in timer.fractions().items()
+            },
         }
         if progress is not None:
             progress(
@@ -363,6 +476,19 @@ def run_ensemble_bench(
                 )
             )
 
+    shard_scaling = None
+    if shard_jobs:
+        if progress is not None:
+            progress(f"shard scaling (jobs {list(shard_jobs)}) ...")
+        shard_scaling = measure_shard_scaling(
+            "face_rec",
+            "proposed",
+            members=4 if quick else 8,
+            seed=seed,
+            jobs_list=tuple(shard_jobs),
+            iteration_scale=0.1 if quick else 0.5,
+        )
+
     geomean = None
     if speedups:
         product = 1.0
@@ -370,7 +496,7 @@ def run_ensemble_bench(
             product *= value
         geomean = round(product ** (1.0 / len(speedups)), 2)
     return {
-        "label": "BENCH_PR7",
+        "label": "BENCH_PR8",
         "mode": "quick" if quick else "full",
         "members": members,
         "measured_ticks": ticks,
@@ -380,6 +506,7 @@ def run_ensemble_bench(
         "warmup_ticks": WARMUP_TICKS,
         "workloads": workloads,
         "geomean_speedup_vs_serial": geomean,
+        "shard_scaling": shard_scaling,
     }
 
 
@@ -397,9 +524,29 @@ def format_ensemble_report(report: Dict[str, Any]) -> str:
             f"{entry['scalar_ticks_per_s']:>10.0f} "
             f"{(str(speedup) + 'x') if speedup is not None else '-':>8}"
         )
+        fractions = entry.get("phase_fractions") or {}
+        if fractions:
+            split = ", ".join(
+                f"{section} {fraction:.0%}"
+                for section, fraction in fractions.items()
+            )
+            lines.append(f"{'':<20}   phase split: {split}")
     geomean = report.get("geomean_speedup_vs_serial")
     if geomean is not None:
         lines.append(f"geomean speedup vs serial: {geomean}x")
+    scaling = report.get("shard_scaling")
+    if scaling:
+        lines.append(
+            f"shard scaling ({scaling['app']}/{scaling['policy']}, "
+            f"{scaling['members']} members, scale "
+            f"{scaling['iteration_scale']:g}, {scaling['cpu_count']} cpu):"
+        )
+        for run in scaling["runs"]:
+            speedup = run["speedup_vs_jobs1"]
+            lines.append(
+                f"  --jobs {run['jobs']:<2} {run['elapsed_s']:>8.2f} s"
+                + (f"  ({speedup}x vs jobs 1)" if speedup is not None else "")
+            )
     return "\n".join(lines)
 
 
@@ -449,6 +596,41 @@ def load_report(path: str) -> Dict[str, Any]:
 #: report and the baseline carry them: the scalar tick rate and the
 #: ensemble's aggregate trajectory-tick rate.
 GATED_METRICS: Tuple[str, ...] = ("ticks_per_s", "traj_ticks_per_s")
+
+
+def compare_reports(
+    report: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Per-workload speedup deltas of a fresh report vs a baseline.
+
+    One line per (workload, gated metric) present in both reports, with
+    the fractional change (positive = faster than the baseline); plus a
+    note for workloads only one side measured.  Pure reporting — the
+    pass/fail decision stays in :func:`check_regression`, so ``repro
+    bench --compare`` prints these lines and then gates on the same
+    thresholds CI uses.
+    """
+    lines = []
+    baseline_workloads = baseline.get("workloads", {})
+    report_workloads = report.get("workloads", {})
+    for key, entry in report_workloads.items():
+        reference = baseline_workloads.get(key)
+        if reference is None:
+            lines.append(f"{key}: not in baseline (skipped)")
+            continue
+        for metric in GATED_METRICS:
+            if metric not in entry or metric not in reference:
+                continue
+            old = reference[metric]
+            new = entry[metric]
+            delta = (new - old) / old if old else float("inf")
+            lines.append(
+                f"{key}: {metric} {new:.0f} vs {old:.0f} ({delta:+.1%})"
+            )
+    for key in baseline_workloads:
+        if key not in report_workloads:
+            lines.append(f"{key}: only in baseline (skipped)")
+    return lines
 
 
 def check_regression(

@@ -189,6 +189,132 @@ class TestReproBench:
             assert entry["ticks_per_s"] > 0
 
 
+ENS_RUN_ARGS = [
+    "ensemble", "run", "tachyon", "--members", "4",
+    "--scale", "0.05", "--seed", "7",
+]
+
+ENS_BENCH_TINY = [
+    "ensemble", "bench", "--quick", "--members", "2", "--ticks", "20",
+    "--scalar-ticks", "50", "--repeats", "1",
+]
+
+
+class TestReproEnsembleRun:
+    def test_sharded_output_is_identical_to_serial(self, tmp_path):
+        """--jobs 2 must print the exact per-seed table --jobs 1 does;
+        only the execution-summary line may differ."""
+        serial = _repro([*ENS_RUN_ARGS, "--no-cache", "--jobs", "1"],
+                        cwd=tmp_path)
+        sharded = _repro([*ENS_RUN_ARGS, "--no-cache", "--jobs", "2"],
+                         cwd=tmp_path)
+        assert serial.returncode == 0, serial.stderr
+        assert sharded.returncode == 0, sharded.stderr
+        # header + 4 member rows + ensemble mean line
+        head = serial.stdout.splitlines()[:6]
+        assert head == sharded.stdout.splitlines()[:6]
+        assert "executed across 2 shard(s)" in sharded.stdout
+
+    def test_sharded_run_populates_the_member_cache(self, tmp_path):
+        env = {"REPRO_CACHE_DIR": str(tmp_path / "cache")}
+        cold = _repro([*ENS_RUN_ARGS, "--jobs", "2"], cwd=tmp_path,
+                      env_extra=env)
+        assert cold.returncode == 0, cold.stderr
+        assert "4 executed across 2 shard(s)" in cold.stdout
+        warm = _repro([*ENS_RUN_ARGS, "--jobs", "2"], cwd=tmp_path,
+                      env_extra=env)
+        assert warm.returncode == 0, warm.stderr
+        assert "4 member(s) from cache, 0 executed" in warm.stdout
+        assert (warm.stdout.splitlines()[:6]
+                == cold.stdout.splitlines()[:6])
+
+    def test_shard_timeout_surfaces_failure_and_exits_nonzero(self, tmp_path):
+        proc = _repro(
+            [*ENS_RUN_ARGS, "--no-cache", "--jobs", "2",
+             "--job-timeout", "0.05", "--max-job-attempts", "1"],
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 1
+        assert "-- shard failed; see below --" in proc.stdout
+        assert "FAILED" in proc.stdout
+        assert "timed out" in proc.stdout
+
+    def test_rejects_invalid_member_and_job_counts(self, tmp_path):
+        bad_members = _repro(
+            ["ensemble", "run", "tachyon", "--members", "0"], cwd=tmp_path)
+        assert bad_members.returncode == 2
+        bad_jobs = _repro(
+            ["ensemble", "run", "tachyon", "--jobs", "0"], cwd=tmp_path)
+        assert bad_jobs.returncode == 2
+
+
+class TestReproEnsembleBench:
+    @pytest.fixture(scope="class")
+    def tiny_bench(self, tmp_path_factory):
+        workdir = tmp_path_factory.mktemp("ens_bench")
+        output = workdir / "report.json"
+        proc = _repro([*ENS_BENCH_TINY, "--output", str(output)],
+                      cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        return workdir, proc, json.loads(output.read_text())
+
+    def test_report_shape(self, tiny_bench):
+        _, proc, report = tiny_bench
+        assert report["label"] == "BENCH_PR8"
+        assert report["mode"] == "quick"
+        assert report["members"] == 2
+        for entry in report["workloads"].values():
+            assert entry["traj_ticks_per_s"] > 0
+            assert 0.99 < sum(entry["phase_fractions"].values()) < 1.01
+        scaling = report["shard_scaling"]
+        assert scaling["cpu_count"] >= 1
+        assert [run["jobs"] for run in scaling["runs"]] == [1, 2]
+        assert "phase split:" in proc.stdout
+        assert "shard scaling" in proc.stdout
+
+    def test_compare_passes_against_a_slower_baseline(self, tiny_bench, tmp_path):
+        workdir, _, report = tiny_bench
+        baseline = dict(report)
+        baseline["workloads"] = {
+            key: {**entry, "traj_ticks_per_s": entry["traj_ticks_per_s"] * 0.01}
+            for key, entry in report["workloads"].items()
+        }
+        baseline_path = tmp_path / "slower.json"
+        baseline_path.write_text(json.dumps(baseline))
+        proc = _repro(
+            [*ENS_BENCH_TINY, "--output", str(tmp_path / "out.json"),
+             "--compare", str(baseline_path)],
+            cwd=workdir,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "comparison vs" in proc.stdout
+        assert "no regression vs" in proc.stdout
+
+    def test_compare_fails_against_a_faster_baseline(self, tiny_bench, tmp_path):
+        workdir, _, report = tiny_bench
+        baseline = dict(report)
+        baseline["workloads"] = {
+            key: {**entry, "traj_ticks_per_s": entry["traj_ticks_per_s"] * 100}
+            for key, entry in report["workloads"].items()
+        }
+        baseline_path = tmp_path / "faster.json"
+        baseline_path.write_text(json.dumps(baseline))
+        proc = _repro(
+            [*ENS_BENCH_TINY, "--output", str(tmp_path / "out.json"),
+             "--compare", str(baseline_path)],
+            cwd=workdir,
+        )
+        assert proc.returncode == 1
+        assert "REGRESSION vs" in proc.stdout
+
+    def test_compare_fails_fast_on_a_missing_baseline(self, tmp_path):
+        proc = _repro(
+            [*ENS_BENCH_TINY, "--compare", str(tmp_path / "absent.json")],
+            cwd=tmp_path,
+        )
+        assert proc.returncode != 0
+
+
 class TestCliErrors:
     def test_unknown_app_exits_nonzero(self, tmp_path):
         proc = _repro(["run", "not_an_app"], cwd=tmp_path)

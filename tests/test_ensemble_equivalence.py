@@ -184,6 +184,27 @@ def test_ensemble_matches_scalar_under_faults():
         assert batched.fault_stats  # the injector actually fired
 
 
+def test_vectorized_agent_matches_scalar_under_faults():
+    """The vectorized RL control plane (face_rec/proposed exercises the
+    batched agents and managers) stays bit-faithful to the scalar agent
+    when the sensor/actuation paths are faulty."""
+    seeds = [17 + 7 * k for k in range(MEMBERS)]
+    kwargs = dict(faults=FAULTS)
+    scalar_results = [
+        build_sim("face_rec", "proposed", seed, **kwargs).run()
+        for seed in seeds
+    ]
+    ensemble = EnsembleSimulation(
+        [build_sim("face_rec", "proposed", seed, **kwargs) for seed in seeds]
+    )
+    for member, (scalar, batched) in enumerate(
+        zip(scalar_results, ensemble.run())
+    ):
+        assert_results_equal(scalar, batched, member)
+        assert batched.fault_stats  # the injector actually fired
+        assert batched.manager_stats  # the vectorized agent actually ran
+
+
 # ----------------------------------------------------------------------
 # Checkpoint / resume
 # ----------------------------------------------------------------------
@@ -193,6 +214,9 @@ def _mixed_members():
         build_sim("mpeg_dec", "proposed", 32, iterations=4),
         build_sim("sphinx", "ge_modified", 33, iterations=6),
         build_sim("face_rec", "performance", 34),
+        # A vectorized-agent member with live fault injection: resume
+        # must round-trip the Q-table, agent RNG and fault state too.
+        build_sim("face_rec", "proposed", 35, iterations=4, faults=FAULTS),
     ]
 
 

@@ -1,0 +1,172 @@
+"""Process sharding of ensemble jobs: partition, identity, hardening.
+
+The contract under test (``repro.ensemble.shard``): splitting an
+:class:`EnsembleJobSpec` into per-process member shards changes
+*nothing* about the results — sharded == unsharded == serial, member
+for member, bit for bit (compared through each summary's pickle, the
+same bytes the result cache stores) — while failures of a shard are
+surfaced as the engine's structured :class:`JobFailure` records instead
+of aborting the whole job.
+"""
+
+import pickle
+
+import pytest
+
+from repro.ensemble.runner import run_ensemble_job
+from repro.ensemble.shard import (
+    ShardedRunReport,
+    run_sharded_ensemble_job,
+    shard_members,
+)
+from repro.experiments.engine.cache import ResultCache
+from repro.experiments.engine.scheduler import ExperimentEngine
+from repro.experiments.engine.spec import EnsembleJobSpec, workload_job
+from repro.experiments.engine.worker import execute_job
+
+#: Small-but-real member grid shared by the identity tests.
+SCALE = 0.05
+
+
+def _spec(members: int, app: str = "tachyon", policy: str = "linux"):
+    return EnsembleJobSpec(
+        members=tuple(
+            workload_job(
+                app, policy=policy, seed=1 + offset, iteration_scale=SCALE
+            )
+            for offset in range(members)
+        )
+    )
+
+
+def _pickles(summaries):
+    return [pickle.dumps(summary) for summary in summaries]
+
+
+# ----------------------------------------------------------------------
+# Partition
+# ----------------------------------------------------------------------
+class TestShardMembers:
+    def test_contiguous_balanced_order_preserving(self):
+        parts = shard_members(7, 3)
+        assert parts == [range(0, 3), range(3, 5), range(5, 7)]
+
+    def test_covers_every_member_exactly_once(self):
+        for count in (1, 2, 5, 16, 17):
+            for shards in (1, 2, 3, 8, 40):
+                parts = shard_members(count, shards)
+                flat = [index for part in parts for index in part]
+                assert flat == list(range(count)), (count, shards)
+                assert all(len(part) > 0 for part in parts)
+
+    def test_more_shards_than_members_degenerates_to_singletons(self):
+        assert shard_members(2, 5) == [range(0, 1), range(1, 2)]
+
+    def test_empty_and_invalid(self):
+        assert shard_members(0, 4) == []
+        with pytest.raises(ValueError):
+            shard_members(-1, 2)
+        with pytest.raises(ValueError):
+            shard_members(4, 0)
+
+    def test_deterministic(self):
+        assert shard_members(13, 4) == shard_members(13, 4)
+
+
+# ----------------------------------------------------------------------
+# Sharded == unsharded == serial
+# ----------------------------------------------------------------------
+def test_sharded_equals_unsharded_equals_serial():
+    """The same job at jobs 1/2/3 and through ``run_ensemble_job`` and
+    the scalar worker path produces byte-identical member summaries."""
+    spec = _spec(5)
+    unsharded = _pickles(run_ensemble_job(spec, cache=None))
+    for jobs in (1, 2, 3):
+        engine = ExperimentEngine(jobs=jobs, cache=None)
+        report = run_sharded_ensemble_job(spec, engine, cache=None)
+        assert report.ok
+        assert report.shards == min(jobs, 5)
+        assert report.executed_members == 5
+        assert _pickles(report.summaries) == unsharded, f"jobs={jobs}"
+    # Serial scalar execution of one member — the path a cache producer
+    # takes — yields the same bytes as the sharded member summary.
+    scalar = pickle.dumps(execute_job(spec.members[2]))
+    assert scalar == unsharded[2]
+
+
+def test_shards_share_the_member_level_cache(tmp_path):
+    """A sharded run populates per-member scalar keys; a subsequent
+    unsharded run (and a wider sharded one) hits them."""
+    cache = ResultCache(root=tmp_path / "cache")
+    spec = _spec(4)
+    engine = ExperimentEngine(jobs=2, cache=None)
+    first = run_sharded_ensemble_job(spec, engine, cache=cache)
+    assert first.ok and first.executed_members == 4 and first.cache_hits == 0
+
+    # Unsharded consumer: every member resolves from the cache.
+    warm = run_ensemble_job(spec, cache=cache)
+    assert _pickles(warm) == _pickles(first.summaries)
+    # Wider job: the overlapping seeds hit, only the new members run.
+    wider = _spec(6)
+    engine2 = ExperimentEngine(jobs=2, cache=None)
+    second = run_sharded_ensemble_job(wider, engine2, cache=cache)
+    assert second.ok
+    assert second.cache_hits == 4
+    assert second.executed_members == 2
+    assert _pickles(second.summaries[:4]) == _pickles(first.summaries)
+
+
+# ----------------------------------------------------------------------
+# Failure surfacing
+# ----------------------------------------------------------------------
+def test_failed_shard_surfaces_jobfailure_and_partial_results(monkeypatch):
+    """One shard exhausting its retries yields None summaries for its
+    members plus a structured JobFailure; the other shards' results
+    survive."""
+    import repro.experiments.engine.scheduler as scheduler_module
+
+    real_execute = scheduler_module.execute_job
+    calls = {"n": 0}
+
+    def flaky(spec, *args, **kwargs):
+        if isinstance(spec, EnsembleJobSpec) and spec.members[0].seed == 1:
+            calls["n"] += 1
+            raise RuntimeError("boom")
+        return real_execute(spec, *args, **kwargs)
+
+    monkeypatch.setattr(scheduler_module, "execute_job", flaky)
+    spec = _spec(4)
+    engine = ExperimentEngine(jobs=1, cache=None, max_job_attempts=2)
+    report = run_sharded_ensemble_job(spec, engine, cache=None)
+    assert not report.ok
+    assert calls["n"] == 2  # bounded retries were attempted
+    assert len(report.failures) == 1
+    failure = report.failures[0]
+    assert failure.error_type == "RuntimeError"
+    assert failure.attempts == 2
+    assert engine.failures == report.failures
+    # jobs=1 -> a single shard holds every member; all of them are None.
+    assert report.summaries == [None] * 4
+
+
+def test_engine_run_collect_does_not_raise(monkeypatch):
+    """run_collect returns (outcomes, failures) instead of raising
+    EngineJobError, and leaves the cache out of the loop."""
+    import repro.experiments.engine.scheduler as scheduler_module
+
+    def always_fail(spec, *args, **kwargs):
+        raise ValueError("nope")
+
+    monkeypatch.setattr(scheduler_module, "execute_job", always_fail)
+    engine = ExperimentEngine(jobs=1, cache=None, max_job_attempts=1)
+    outcomes, failures = engine.run_collect([_spec(2)])
+    assert outcomes == {}
+    assert len(failures) == 1 and failures[0].error_type == "ValueError"
+    assert engine.run_collect([]) == ({}, [])
+
+
+def test_report_ok_requires_every_member():
+    report = ShardedRunReport(summaries=[None])
+    assert not report.ok
+    report = ShardedRunReport(summaries=[])
+    assert report.ok

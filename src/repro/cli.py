@@ -56,6 +56,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="bypass the content-addressed result cache under .repro-cache/",
     )
     parser.add_argument(
+        "--ensemble",
+        action="store_true",
+        help="batch grid cells sharing a platform closure through the "
+        "vectorized ensemble engine (bit-identical results, sharded "
+        "across --jobs worker processes)",
+    )
+    parser.add_argument(
         "--job-timeout",
         type=float,
         default=None,
@@ -385,6 +392,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ens_bench.add_argument("--seed", type=int, default=1)
     ens_bench.add_argument(
+        "--grids",
+        action="store_true",
+        help="also measure the grid planner (scalar serial vs "
+        "--ensemble engine on a seed-replicated grid) and label the "
+        "report BENCH_PR9",
+    )
+    ens_bench.add_argument(
+        "--min-grid-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="with --grids: fail (exit 1) when the jobs=1 ensemble grid "
+        "run is not at least FACTOR x faster than the scalar serial grid",
+    )
+    ens_bench.add_argument(
         "--output",
         default="BENCH_PR8.json",
         help="where to write the JSON report (default BENCH_PR8.json)",
@@ -469,6 +491,7 @@ def _engine_from(args: argparse.Namespace) -> ExperimentEngine:
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
             resume=bool(args.resume),
+            ensemble=bool(getattr(args, "ensemble", False)),
         )
     )
 
@@ -522,6 +545,7 @@ def _write_sweep_manifest(args: argparse.Namespace, report) -> Path:
         "seed": args.seed,
         "only": args.only,
         "jobs": args.jobs,
+        "ensemble": bool(getattr(args, "ensemble", False)),
     }
     run_record = dict(sweep_config)
     run_record["failures"] = {
@@ -828,12 +852,19 @@ def _command_ensemble_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         scalar_ticks=args.scalar_ticks,
         seed=args.seed,
+        grids=args.grids,
         progress=print,
     )
     bench.write_report(report, args.output)
     print()
     print(bench.format_ensemble_report(report))
     print(f"report written to {args.output}")
+    if args.min_grid_speedup is not None:
+        failures = bench.check_grid_speedup(report, args.min_grid_speedup)
+        for line in failures:
+            print(f"GRID SPEEDUP FAILURE: {line}")
+        if failures:
+            return 1
     if baseline is not None:
         return _gate_bench_report(args, report, baseline)
     return 0

@@ -71,8 +71,10 @@ class ShardedRunReport:
     """Outcome of one sharded ensemble job.
 
     ``summaries`` aligns index-for-index with the job's members; a
-    member of a shard that exhausted its retries is ``None`` and the
-    shard's structured :class:`JobFailure` appears in ``failures``.
+    member of a shard that exhausted its retries is ``None`` and one
+    structured :class:`JobFailure` per member of the failed shard —
+    keyed by the member's scalar job key — appears in ``failures``, so
+    failures degrade exactly the cells that were actually lost.
     """
 
     summaries: List[Optional[RunSummary]] = field(default_factory=list)
@@ -93,6 +95,8 @@ def run_sharded_ensemble_job(
     spec: EnsembleJobSpec,
     engine: ExperimentEngine,
     cache=None,
+    resolve_cache: bool = True,
+    charge_stats: bool = True,
 ) -> ShardedRunReport:
     """Execute an ensemble job as ``engine.jobs`` member shards.
 
@@ -116,11 +120,20 @@ def run_sharded_ensemble_job(
     cache:
         Optional :class:`~repro.experiments.engine.cache.ResultCache`
         holding per-member scalar summaries.
+    resolve_cache:
+        Look members up in ``cache`` before sharding.  The engine's
+        grid planner passes ``False`` because it only ever plans over
+        specs that already missed the cache; fresh results are still
+        stored per member either way.
+    charge_stats:
+        Forwarded to :meth:`ExperimentEngine.run_collect`; ``False`` is
+        the planner's reentrant mode where the outer ``run()`` already
+        accounted the members and records the failures itself.
     """
     members = list(spec.members)
     report = ShardedRunReport(summaries=[None] * len(members))
     pending: List[int] = []
-    if cache is not None:
+    if cache is not None and resolve_cache:
         for index, member in enumerate(members):
             hit = cache.get(member)
             if hit is not None:
@@ -140,7 +153,7 @@ def run_sharded_ensemble_job(
         for part in parts
     ]
     report.shards = len(shard_specs)
-    outcomes, failures = engine.run_collect(shard_specs)
+    outcomes, failures = engine.run_collect(shard_specs, charge_stats=charge_stats)
     report.failures.extend(failures)
     for shard_index, part in enumerate(parts):
         shard_summaries = outcomes.get(shard_index)

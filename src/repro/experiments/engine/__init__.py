@@ -15,6 +15,8 @@ Layout:
   the artifact-routing policy for reduced-scale sweeps;
 * :mod:`~repro.experiments.engine.worker` — the per-process job entry;
 * :mod:`~repro.experiments.engine.scheduler` — batch execution;
+* :mod:`~repro.experiments.engine.planner` — the ensemble grid planner
+  batching scalar sweep cells into vectorized ensemble groups;
 * :mod:`~repro.experiments.engine.sweep` — ``repro all`` (imported
   lazily by the CLI; not re-exported here to keep experiment modules
   importable from this package without a cycle).
@@ -27,15 +29,23 @@ from repro.experiments.engine.cache import (
     artifact_dir,
     default_cache_root,
 )
+from repro.experiments.engine.planner import (
+    GridPlan,
+    ensemble_eligible,
+    plan_grid,
+    varying_fields,
+)
 from repro.experiments.engine.scheduler import (
     EngineStats,
     ExperimentEngine,
     default_engine,
 )
 from repro.experiments.engine.spec import (
+    EnsembleJobSpec,
     JobSpec,
     canonical_json,
     canonicalise,
+    ensemble_job,
     job_key,
     scenario_job,
     workload_job,
@@ -46,7 +56,9 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CacheStats",
     "EngineStats",
+    "EnsembleJobSpec",
     "ExperimentEngine",
+    "GridPlan",
     "JobSpec",
     "ResultCache",
     "artifact_dir",
@@ -54,8 +66,12 @@ __all__ = [
     "canonicalise",
     "default_cache_root",
     "default_engine",
+    "ensemble_eligible",
+    "ensemble_job",
     "execute_job",
     "job_key",
+    "plan_grid",
     "scenario_job",
+    "varying_fields",
     "workload_job",
 ]

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EngineConfig
 from repro.experiments.engine.cache import ResultCache
-from repro.experiments.engine.spec import JobSpec, job_key
+from repro.experiments.engine.spec import EnsembleJobSpec, JobSpec, job_key
 from repro.experiments.engine.worker import execute_job
 from repro.experiments.runner import RunSummary
 from repro.obs.metrics import (
@@ -167,6 +167,11 @@ class ExperimentEngine:
     checkpoint_dir: Optional[str] = None
     #: Resume interrupted jobs from their newest valid checkpoint.
     resume: bool = False
+    #: Route each batch through the ensemble grid planner: cells that
+    #: share a platform closure are batched into vectorized ensemble
+    #: shards (see :mod:`repro.experiments.engine.planner`); everything
+    #: else runs on the scalar path.  Bit-identical either way.
+    ensemble: bool = False
     #: Structured failure records accumulated over the engine's life.
     failures: List[JobFailure] = field(default_factory=list)
 
@@ -191,6 +196,7 @@ class ExperimentEngine:
             checkpoint_every=config.checkpoint_every,
             checkpoint_dir=config.checkpoint_dir,
             resume=config.resume,
+            ensemble=config.ensemble,
         )
 
     # ------------------------------------------------------------------
@@ -230,7 +236,9 @@ class ExperimentEngine:
         if pending:
             self.stats.executed += len(pending)
             jobs = {index: unique[index] for index in pending}
-            if self.jobs == 1 or len(pending) == 1:
+            if self.ensemble:
+                outcomes, failures = self._execute_ensemble(jobs)
+            elif self.jobs == 1 or len(pending) == 1:
                 outcomes, failures = self._execute_serial(jobs)
             else:
                 outcomes, failures = self._execute_parallel(jobs)
@@ -247,7 +255,7 @@ class ExperimentEngine:
         return ordered
 
     def run_collect(
-        self, specs: Sequence[JobSpec]
+        self, specs: Sequence[JobSpec], charge_stats: bool = True
     ) -> Tuple[Dict[int, RunSummary], List[JobFailure]]:
         """Execute specs through the hardened paths, collecting failures.
 
@@ -260,17 +268,25 @@ class ExperimentEngine:
         timeouts, retries and pool recovery without the engine treating
         a composite result as one cacheable summary.  Failures still
         accumulate in :attr:`failures` and count in :attr:`stats`.
+
+        ``charge_stats=False`` is the planner's reentrant mode: when
+        :meth:`run` routes a batch through ensemble shards, the batch's
+        members were already counted as submitted/executed (and its
+        failures are recorded by :meth:`run` itself), so the inner
+        shard-level call must not double-charge them.
         """
         jobs = dict(enumerate(specs))
-        self.stats.submitted += len(jobs)
+        if charge_stats:
+            self.stats.submitted += len(jobs)
         if not jobs:
             return {}, []
-        self.stats.executed += len(jobs)
+        if charge_stats:
+            self.stats.executed += len(jobs)
         if self.jobs == 1 or len(jobs) == 1:
             outcomes, failures = self._execute_serial(jobs)
         else:
             outcomes, failures = self._execute_parallel(jobs)
-        if failures:
+        if failures and charge_stats:
             self.failures.extend(failures)
         return outcomes, failures
 
@@ -295,7 +311,7 @@ class ExperimentEngine:
         if self.cache is not None and isinstance(summary, RunSummary):
             self.cache.put(spec, summary)
 
-    def _failure(
+    def _failures_for(
         self,
         spec: JobSpec,
         attempts: int,
@@ -303,18 +319,34 @@ class ExperimentEngine:
         error: BaseException,
         backoff_s: float,
         timed_out: bool = False,
-    ) -> JobFailure:
-        self.stats.failed += 1
-        return JobFailure(
-            key=job_key(spec),
-            label=spec.label,
-            attempts=attempts,
-            duration_s=duration_s,
-            error_type=type(error).__name__,
-            message=str(error) or type(error).__name__,
-            backoff_s=backoff_s,
-            timed_out=timed_out,
-        )
+    ) -> List[JobFailure]:
+        """Structured failure records for one exhausted job.
+
+        An :class:`EnsembleJobSpec` expands to one failure *per member*,
+        keyed by the member's scalar :func:`job_key` — so a failed shard
+        degrades exactly its members' cells and a sweep re-run (whose
+        cache holds every member of the shards that did succeed) only
+        re-executes the members that actually failed.
+        """
+        members: Sequence[JobSpec]
+        if isinstance(spec, EnsembleJobSpec):
+            members = spec.members
+        else:
+            members = (spec,)
+        self.stats.failed += len(members)
+        return [
+            JobFailure(
+                key=job_key(member),
+                label=member.label,
+                attempts=attempts,
+                duration_s=duration_s,
+                error_type=type(error).__name__,
+                message=str(error) or type(error).__name__,
+                backoff_s=backoff_s,
+                timed_out=timed_out,
+            )
+            for member in members
+        ]
 
     def _backoff_for(self, attempt: int) -> float:
         """Deterministic exponential backoff charged to ``attempt``.
@@ -325,6 +357,59 @@ class ExperimentEngine:
         waited.
         """
         return self.retry_backoff_s * 2 ** (attempt - 1)
+
+    def _execute_ensemble(
+        self, jobs: Dict[int, JobSpec]
+    ) -> Tuple[Dict[int, RunSummary], List[JobFailure]]:
+        """Route one pending batch through the ensemble grid planner.
+
+        The planner partitions the (already cache-missed, deduplicated)
+        batch into platform-uniform member groups plus scalar leftovers;
+        each group runs as a sharded ensemble job over this same engine
+        (``jobs`` worker processes, timeouts, bounded retries), which
+        caches fresh members under their scalar keys as shards land.
+        Leftovers take the ordinary serial/parallel path.  Every member
+        summary is bit-identical to scalar execution, so this changes
+        *throughput only* — never bytes.
+
+        Imports lazily: the shard layer sits above the scheduler in the
+        module graph, so a top-level import would be cyclic.
+        """
+        from repro.ensemble.shard import run_sharded_ensemble_job
+        from repro.experiments.engine.planner import plan_grid
+        from repro.experiments.engine.spec import ensemble_job
+
+        indices = sorted(jobs)
+        specs = [jobs[index] for index in indices]
+        plan = plan_grid(specs)
+        outcomes: Dict[int, RunSummary] = {}
+        failures: List[JobFailure] = []
+        for group in plan.groups:
+            group_spec = ensemble_job(specs[local] for local in group)
+            # The batch's cache misses were resolved by run() already,
+            # so the shard layer skips its per-member pre-resolution;
+            # it still stores fresh members under their scalar keys.
+            report = run_sharded_ensemble_job(
+                group_spec,
+                self,
+                cache=self.cache,
+                resolve_cache=False,
+                charge_stats=False,
+            )
+            failures.extend(report.failures)
+            for offset, local in enumerate(group):
+                summary = report.summaries[offset]
+                if summary is not None:
+                    outcomes[indices[local]] = summary
+        if plan.scalar:
+            leftovers = {indices[local]: specs[local] for local in plan.scalar}
+            if self.jobs == 1 or len(leftovers) == 1:
+                extra_outcomes, extra_failures = self._execute_serial(leftovers)
+            else:
+                extra_outcomes, extra_failures = self._execute_parallel(leftovers)
+            outcomes.update(extra_outcomes)
+            failures.extend(extra_failures)
+        return outcomes, failures
 
     def _execute_serial(
         self, jobs: Dict[int, JobSpec]
@@ -344,8 +429,8 @@ class ExperimentEngine:
                     summary = execute_job(spec, *self._worker_args())
                 except Exception as error:
                     if attempts >= self.max_job_attempts:
-                        failures.append(
-                            self._failure(
+                        failures.extend(
+                            self._failures_for(
                                 spec,
                                 attempts,
                                 time.perf_counter() - started,
@@ -386,8 +471,8 @@ class ExperimentEngine:
 
         def attempt_failed(index: int, error: BaseException, timed_out: bool) -> None:
             if attempts[index] >= self.max_job_attempts:
-                failures.append(
-                    self._failure(
+                failures.extend(
+                    self._failures_for(
                         jobs[index],
                         attempts[index],
                         time.perf_counter() - started[index],

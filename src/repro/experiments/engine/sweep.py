@@ -35,6 +35,7 @@ from repro.experiments.fig6_sampling import run_fig6
 from repro.experiments.fig7_epoch import run_fig7
 from repro.experiments.fig8_convergence import run_fig8
 from repro.experiments.fig9_power import run_fig9
+from repro.experiments.montecarlo import run_montecarlo
 from repro.experiments.table2_intra import run_table2
 from repro.experiments.table3_exec_time import run_table3
 
@@ -51,6 +52,7 @@ ARTEFACTS: Dict[str, Callable] = {
     "fig9": run_fig9,
     "ablation": run_ablation,
     "fault_tolerance": run_fault_tolerance,
+    "montecarlo": run_montecarlo,
 }
 
 

@@ -37,6 +37,12 @@ FT_FAULT_MODES: Tuple[str, ...] = ("none", "sensor", "actuation")
 #: The workload of the study (the paper's mid-length application).
 FT_APP = "mpeg_dec"
 
+#: Grid axes the ensemble grid planner may batch across.  Fault
+#: injection vectorizes (each member keeps its own seeded fault
+#: schedule); the supervised half of the grid is planner-ineligible —
+#: the ensemble engine rejects supervised members — and runs scalar.
+ENSEMBLE_AXES: Tuple[str, ...] = ("policy", "faults")
+
 
 @dataclass
 class FaultToleranceRow:

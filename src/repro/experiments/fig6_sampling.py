@@ -35,6 +35,13 @@ from repro.config import (
 from repro.experiments.engine import ExperimentEngine, default_engine, workload_job
 from repro.reliability.mttf import cycling_mttf_years
 
+#: Grid axes the ensemble grid planner may batch across.  The plain
+#: reference run and the managed sweep share the default platform and
+#: batch together; the EMA-filtered reference (``ema_tau_s=4``) is
+#: planner-ineligible (no batched low-pass sensor path) and always
+#: runs scalar.
+ENSEMBLE_AXES = ("policy", "agent_config")
+
 
 @dataclass
 class Fig6Row:

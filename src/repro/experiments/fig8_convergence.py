@@ -27,6 +27,12 @@ STATE_GRID: Tuple[Tuple[int, Tuple[int, int]], ...] = (
 #: Action-space sizes swept.
 ACTION_GRID: Tuple[int, ...] = (4, 8, 12)
 
+#: Grid axes the ensemble grid planner may batch across.  The design
+#: points differ in agent configuration and action space only — the
+#: ensemble control plane runs such heterogeneous members through its
+#: scalar per-member manager fallback, still bit-identically.
+ENSEMBLE_AXES: Tuple[str, ...] = ("agent_config", "actions")
+
 
 @dataclass
 class Fig8Row:

@@ -23,6 +23,12 @@ TABLE2_WORKLOADS: Tuple[str, ...] = ("tachyon", "mpeg_dec", "mpeg_enc")
 #: The policies of Table 2, in column order.
 TABLE2_POLICIES: Tuple[str, ...] = ("linux", "ge", "proposed")
 
+#: Grid axes the ensemble grid planner may batch across: every cell
+#: shares the default platform closure and differs only in these
+#: :class:`~repro.experiments.engine.spec.JobSpec` fields, so the whole
+#: table collapses into one ensemble group under ``--ensemble``.
+ENSEMBLE_AXES: Tuple[str, ...] = ("app", "dataset", "policy")
+
 
 @dataclass
 class Table2Row:

@@ -35,10 +35,20 @@ settings through :func:`repro.ensemble.shard.run_sharded_ensemble_job`
 shard count, so the section isolates pure execution scaling, bounded by
 the recorded ``cpu_count``.
 
+``repro ensemble bench --grids`` additionally measures the **grid
+planner** end to end (:func:`measure_grid_speedup`): the same
+seed-replicated experiment grid — scalar cells, exactly as an
+experiment module submits them — run through a scalar serial engine and
+through an ``ensemble=True`` engine at several ``--jobs`` settings.
+Results are bit-identical, so the section isolates the wall-clock win
+of routing real grids through the vectorized engine.
+
 Scalar reports are written to ``BENCH_PR3.json``, ensemble reports to
-``BENCH_PR8.json``; CI reruns both in ``--quick`` mode and fails when
-a shared metric regresses more than 30% below the committed numbers
-(see ``--compare``/:func:`compare_reports`).
+``BENCH_PR8.json`` and grid-planner reports (the ensemble report plus
+the grid section) to ``BENCH_PR9.json``; CI reruns them in ``--quick``
+mode and fails when a shared metric regresses more than 30% below the
+committed numbers (see ``--compare``/:func:`compare_reports`) or the
+grid speedup falls below a floor (:func:`check_grid_speedup`).
 """
 
 from __future__ import annotations
@@ -274,6 +284,106 @@ def measure_shard_scaling(
     }
 
 
+#: The seed-replicated grid cells measured by the grid-planner section:
+#: a governor-bound workload and an agent-bound one, mirroring how the
+#: Monte Carlo study replicates (app, policy) cells across seed fleets.
+GRID_CELLS: Tuple[Tuple[str, str], ...] = (
+    ("tachyon", "linux"),
+    ("mpeg_dec", "proposed"),
+)
+
+
+def measure_grid_speedup(
+    cells: Sequence[Tuple[str, str]],
+    seeds_per_cell: int,
+    iteration_scale: float,
+    seed: int = 1,
+    jobs_list: Sequence[int] = (1,),
+) -> Dict[str, Any]:
+    """Wall-clock of one seed-replicated grid, scalar vs ensemble-routed.
+
+    Builds the grid exactly as an experiment module would — one scalar
+    :func:`workload_job` per (app, policy, seed) cell — runs it to
+    completion through a serial scalar engine, then through an
+    ``ensemble=True`` engine at each entry of ``jobs_list``, all
+    uncached.  Every variant returns bit-identical summaries (the
+    grid-equivalence suite proves it), so the reported speedup is pure
+    execution throughput: vectorization within a shard times process
+    parallelism across shards, bounded by the recorded ``cpu_count``.
+    """
+    from repro.experiments.engine.scheduler import ExperimentEngine
+    from repro.experiments.engine.spec import workload_job
+
+    specs = [
+        workload_job(
+            app,
+            None,
+            policy,
+            seed=seed + offset,
+            iteration_scale=iteration_scale,
+        )
+        for app, policy in cells
+        for offset in range(seeds_per_cell)
+    ]
+    start = time.perf_counter()
+    ExperimentEngine(jobs=1, cache=None).run(specs)
+    scalar_elapsed = time.perf_counter() - start
+    runs = []
+    for jobs in jobs_list:
+        engine = ExperimentEngine(jobs=jobs, cache=None, ensemble=True)
+        start = time.perf_counter()
+        engine.run(specs)
+        elapsed = time.perf_counter() - start
+        runs.append(
+            {
+                "jobs": jobs,
+                "elapsed_s": round(elapsed, 2),
+                "speedup_vs_scalar": (
+                    round(scalar_elapsed / elapsed, 2) if elapsed > 0.0 else None
+                ),
+            }
+        )
+    return {
+        "cells": ["/".join(cell) for cell in cells],
+        "seeds_per_cell": seeds_per_cell,
+        "members": len(specs),
+        "iteration_scale": iteration_scale,
+        "cpu_count": os.cpu_count(),
+        "scalar_elapsed_s": round(scalar_elapsed, 2),
+        "runs": runs,
+    }
+
+
+def check_grid_speedup(
+    report: Dict[str, Any], min_speedup: float
+) -> List[str]:
+    """Gate the grid-planner section's jobs=1 speedup vs the scalar path.
+
+    Returns one message when the report carries a grid section whose
+    single-process ensemble run is slower than ``min_speedup`` x the
+    scalar serial grid (empty list = pass).  Reports without a grid
+    section pass vacuously — the gate guards the planner's win where it
+    was measured, it does not force every bench mode to measure it.
+    """
+    if min_speedup <= 0.0:
+        raise ValueError("min_speedup must be positive")
+    grid = report.get("grid_speedup")
+    if not grid:
+        return []
+    failures = []
+    for run in grid["runs"]:
+        if run["jobs"] != 1:
+            continue
+        speedup = run.get("speedup_vs_scalar")
+        if speedup is not None and speedup < min_speedup:
+            failures.append(
+                f"grid speedup {speedup}x at jobs=1 is below the "
+                f"{min_speedup}x floor (scalar {grid['scalar_elapsed_s']} s, "
+                f"ensemble {run['elapsed_s']} s)"
+            )
+    return failures
+
+
 def run_bench(
     quick: bool = False,
     ticks: Optional[int] = None,
@@ -368,6 +478,7 @@ def run_ensemble_bench(
     scalar_ticks: Optional[int] = None,
     seed: int = 1,
     shard_jobs: Optional[Sequence[int]] = None,
+    grids: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, Any]:
     """Benchmark the ensemble engine and build the ``BENCH_PR8`` report.
@@ -403,6 +514,11 @@ def run_ensemble_bench(
     shard_jobs:
         ``--jobs`` settings timed by the shard-scaling section
         (default ``(1, 2, 4)``, quick ``(1, 2)``; empty disables it).
+    grids:
+        Also measure the grid planner end to end
+        (:func:`measure_grid_speedup`) and label the report
+        ``BENCH_PR9``: a seed-replicated experiment grid run scalar
+        serial vs through an ``ensemble=True`` engine.
     progress:
         Optional sink for one line per finished workload.
     """
@@ -489,6 +605,18 @@ def run_ensemble_bench(
             iteration_scale=0.1 if quick else 0.5,
         )
 
+    grid_speedup = None
+    if grids:
+        if progress is not None:
+            progress("grid planner (scalar vs ensemble-routed) ...")
+        grid_speedup = measure_grid_speedup(
+            GRID_CELLS,
+            seeds_per_cell=12 if quick else 64,
+            iteration_scale=0.05 if quick else 0.2,
+            seed=seed,
+            jobs_list=(1,) if quick else (1, 2),
+        )
+
     geomean = None
     if speedups:
         product = 1.0
@@ -496,7 +624,7 @@ def run_ensemble_bench(
             product *= value
         geomean = round(product ** (1.0 / len(speedups)), 2)
     return {
-        "label": "BENCH_PR8",
+        "label": "BENCH_PR9" if grids else "BENCH_PR8",
         "mode": "quick" if quick else "full",
         "members": members,
         "measured_ticks": ticks,
@@ -507,6 +635,7 @@ def run_ensemble_bench(
         "workloads": workloads,
         "geomean_speedup_vs_serial": geomean,
         "shard_scaling": shard_scaling,
+        "grid_speedup": grid_speedup,
     }
 
 
@@ -546,6 +675,21 @@ def format_ensemble_report(report: Dict[str, Any]) -> str:
             lines.append(
                 f"  --jobs {run['jobs']:<2} {run['elapsed_s']:>8.2f} s"
                 + (f"  ({speedup}x vs jobs 1)" if speedup is not None else "")
+            )
+    grid = report.get("grid_speedup")
+    if grid:
+        lines.append(
+            f"grid planner ({', '.join(grid['cells'])} x "
+            f"{grid['seeds_per_cell']} seeds = {grid['members']} cells, "
+            f"scale {grid['iteration_scale']:g}, {grid['cpu_count']} cpu): "
+            f"scalar serial {grid['scalar_elapsed_s']:.2f} s"
+        )
+        for run in grid["runs"]:
+            speedup = run["speedup_vs_scalar"]
+            lines.append(
+                f"  --ensemble --jobs {run['jobs']:<2} "
+                f"{run['elapsed_s']:>8.2f} s"
+                + (f"  ({speedup}x vs scalar)" if speedup is not None else "")
             )
     return "\n".join(lines)
 

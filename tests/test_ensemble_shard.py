@@ -21,7 +21,7 @@ from repro.ensemble.shard import (
 )
 from repro.experiments.engine.cache import ResultCache
 from repro.experiments.engine.scheduler import ExperimentEngine
-from repro.experiments.engine.spec import EnsembleJobSpec, workload_job
+from repro.experiments.engine.spec import EnsembleJobSpec, job_key, workload_job
 from repro.experiments.engine.worker import execute_job
 
 #: Small-but-real member grid shared by the identity tests.
@@ -140,10 +140,18 @@ def test_failed_shard_surfaces_jobfailure_and_partial_results(monkeypatch):
     report = run_sharded_ensemble_job(spec, engine, cache=None)
     assert not report.ok
     assert calls["n"] == 2  # bounded retries were attempted
-    assert len(report.failures) == 1
-    failure = report.failures[0]
-    assert failure.error_type == "RuntimeError"
-    assert failure.attempts == 2
+    # Failures are member-granular: the single failed 4-member shard
+    # surfaces one JobFailure per member, keyed by the member's scalar
+    # job key and labelled with the member's label.
+    assert len(report.failures) == 4
+    member_keys = [job_key(member) for member in spec.members]
+    assert [failure.key for failure in report.failures] == member_keys
+    assert [failure.label for failure in report.failures] == [
+        member.label for member in spec.members
+    ]
+    for failure in report.failures:
+        assert failure.error_type == "RuntimeError"
+        assert failure.attempts == 2
     assert engine.failures == report.failures
     # jobs=1 -> a single shard holds every member; all of them are None.
     assert report.summaries == [None] * 4
@@ -161,7 +169,9 @@ def test_engine_run_collect_does_not_raise(monkeypatch):
     engine = ExperimentEngine(jobs=1, cache=None, max_job_attempts=1)
     outcomes, failures = engine.run_collect([_spec(2)])
     assert outcomes == {}
-    assert len(failures) == 1 and failures[0].error_type == "ValueError"
+    # One failure per member of the two-member ensemble spec.
+    assert len(failures) == 2
+    assert all(failure.error_type == "ValueError" for failure in failures)
     assert engine.run_collect([]) == ({}, [])
 
 

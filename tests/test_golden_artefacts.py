@@ -51,6 +51,11 @@ CASES = {
         "policies": ("linux", "proposed"),
         "fault_modes": ("none", "sensor"),
     },
+    "montecarlo": {
+        "apps": ("mpeg_dec",),
+        "policies": ("linux", "proposed"),
+        "seeds": 8,
+    },
 }
 
 

@@ -1,0 +1,112 @@
+"""``repro audit``: call-graph behavior fingerprints for cache soundness.
+
+An AST-driven project model of the ``repro`` package — modules, top-
+level symbols, and a module-level import/call graph — from which two
+statically-derived guarantees follow:
+
+* the **behavior-closure digest** (everything transitively reachable
+  from the job executors, fingerprinted with docstrings/comments/line
+  numbers stripped) participates in every result-cache job key, so a
+  behavior-relevant edit cold-misses the cache automatically while a
+  doc-only edit keeps it warm;
+* the **audit rules** check graph-level invariants no per-file lint can
+  see: EQV001 (a scalar fast-path edit whose vectorized ensemble twin
+  is untouched relative to the committed pairing baseline), MUT001
+  (module-level mutable state reachable from engine worker processes)
+  and RED001 (order-sensitive reductions over unordered iterables in
+  FP-exact modules).
+
+Definitions opt out of fingerprinting with ``# repro: behavior-
+irrelevant reason=...`` (the reason is mandatory; reasonless markers
+are IRR001 findings), and findings suppress with the lint layer's
+``# repro: noqa[RULE] reason=...`` comments.  See DESIGN §17.
+"""
+
+from repro.analysis.audit.baseline import (
+    AUDIT_BASELINE_FILENAME,
+    AuditBaseline,
+    PairRecord,
+    load_audit_baseline,
+    save_audit_baseline,
+)
+from repro.analysis.audit.closure import (
+    CLOSURE_EXCLUDES,
+    CLOSURE_ROOTS,
+    ClosureReport,
+    clear_closure_cache,
+    closure_digest,
+    closure_report,
+    compute_closure,
+    python_tag,
+)
+from repro.analysis.audit.engine import (
+    AuditReport,
+    audit_project,
+    current_pairs,
+)
+from repro.analysis.audit.fingerprint import (
+    FINGERPRINT_SCHEMA_VERSION,
+    MALFORMED_MARKER_CODE,
+    Marker,
+    fingerprint_module,
+    fingerprint_node,
+    normalized_dump,
+    parse_markers,
+    strip_docstrings,
+)
+from repro.analysis.audit.project import ModuleInfo, ProjectModel, SymbolInfo
+from repro.analysis.audit.registry import (
+    AuditRule,
+    all_audit_rule_classes,
+    build_audit_rules,
+    register,
+)
+from repro.analysis.audit.report import (
+    AUDIT_REPORT_SCHEMA_VERSION,
+    explain_job_key,
+    render_audit_human,
+    render_audit_json,
+    render_closure_table,
+)
+from repro.analysis.audit.rules import TWIN_MODULES, pair_id
+
+__all__ = [
+    "AUDIT_BASELINE_FILENAME",
+    "AUDIT_REPORT_SCHEMA_VERSION",
+    "AuditBaseline",
+    "AuditReport",
+    "AuditRule",
+    "CLOSURE_EXCLUDES",
+    "CLOSURE_ROOTS",
+    "ClosureReport",
+    "FINGERPRINT_SCHEMA_VERSION",
+    "MALFORMED_MARKER_CODE",
+    "Marker",
+    "ModuleInfo",
+    "PairRecord",
+    "ProjectModel",
+    "SymbolInfo",
+    "TWIN_MODULES",
+    "all_audit_rule_classes",
+    "audit_project",
+    "build_audit_rules",
+    "clear_closure_cache",
+    "closure_digest",
+    "closure_report",
+    "compute_closure",
+    "current_pairs",
+    "explain_job_key",
+    "fingerprint_module",
+    "fingerprint_node",
+    "load_audit_baseline",
+    "normalized_dump",
+    "pair_id",
+    "parse_markers",
+    "python_tag",
+    "register",
+    "render_audit_human",
+    "render_audit_json",
+    "render_closure_table",
+    "save_audit_baseline",
+    "strip_docstrings",
+]

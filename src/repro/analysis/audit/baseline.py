@@ -1,0 +1,149 @@
+"""The committed audit baseline: pairing fingerprints + closure digest.
+
+Unlike the lint baseline (a flat fingerprint -> description map), the
+audit baseline also records the *state* the audit rules compare the
+tree against:
+
+* the **closure digest** at the time the baseline was written — CI
+  fails on drift without a matching baseline update, so every
+  behavior-relevant edit is explicitly acknowledged;
+* the **pairing fingerprints** of every scalar fast-path module and its
+  vectorized ensemble twin — what EQV001 diffs to catch a scalar-only
+  edit;
+* the interpreter's ``major.minor`` tag — ``ast.dump`` output differs
+  across Python minors, so fingerprints recorded under one interpreter
+  are only compared under the same one (checks auto-skip otherwise).
+
+``repro audit --fix-baseline`` rewrites the file from the current tree;
+the findings map should stay empty under normal development, exactly
+like the lint baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Union
+
+from repro.analysis.audit.closure import python_tag
+from repro.analysis.lint.baseline import BaselineError
+from repro.analysis.lint.findings import Finding
+
+#: Default filename, looked up in the working directory.
+AUDIT_BASELINE_FILENAME = ".repro-audit-baseline.json"
+
+#: Version of the audit-baseline document layout.
+AUDIT_BASELINE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PairRecord:
+    """Recorded fingerprints of one scalar/ensemble module pair."""
+
+    scalar: str
+    ensemble: str
+
+
+@dataclass
+class AuditBaseline:
+    """Parsed audit baseline (an empty one when no file exists)."""
+
+    python: str = ""
+    closure_digest: str = ""
+    pairs: Dict[str, PairRecord] = field(default_factory=dict)
+    findings: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def exists(self) -> bool:
+        """Whether this came from a real file (vs the empty default)."""
+        return bool(self.python)
+
+    @property
+    def comparable(self) -> bool:
+        """Whether recorded fingerprints compare against this interpreter."""
+        return self.exists and self.python == python_tag()
+
+
+def load_audit_baseline(path: Union[str, Path]) -> AuditBaseline:
+    """Parse one audit baseline file.
+
+    Raises
+    ------
+    BaselineError
+        If the file is not a valid audit-baseline document.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise BaselineError(f"{path}: audit baseline must be a JSON object")
+    if document.get("schema") != AUDIT_BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"{path}: unsupported audit baseline schema "
+            f"{document.get('schema')!r}"
+        )
+    python = document.get("python")
+    digest = document.get("closure_digest")
+    raw_pairs = document.get("pairs")
+    raw_findings = document.get("findings")
+    if (
+        not isinstance(python, str)
+        or not isinstance(digest, str)
+        or not isinstance(raw_pairs, dict)
+        or not isinstance(raw_findings, dict)
+    ):
+        raise BaselineError(f"{path}: malformed audit baseline document")
+    pairs: Dict[str, PairRecord] = {}
+    for pair_id in sorted(raw_pairs):
+        record = raw_pairs[pair_id]
+        if (
+            not isinstance(record, dict)
+            or not isinstance(record.get("scalar"), str)
+            or not isinstance(record.get("ensemble"), str)
+        ):
+            raise BaselineError(f"{path}: malformed pair entry {pair_id!r}")
+        pairs[pair_id] = PairRecord(
+            scalar=record["scalar"], ensemble=record["ensemble"]
+        )
+    findings: Dict[str, str] = {}
+    for fingerprint in sorted(raw_findings):
+        description = raw_findings[fingerprint]
+        if not isinstance(fingerprint, str) or not isinstance(description, str):
+            raise BaselineError(f"{path}: malformed entry {fingerprint!r}")
+        findings[fingerprint] = description
+    return AuditBaseline(
+        python=python, closure_digest=digest, pairs=pairs, findings=findings
+    )
+
+
+def save_audit_baseline(
+    path: Union[str, Path],
+    closure_digest: str,
+    pairs: Dict[str, PairRecord],
+    findings: Iterable[Finding],
+) -> int:
+    """Write the baseline for the current tree; returns the finding count."""
+    entries = {
+        finding.fingerprint(): f"{finding.rule} {finding.location()}: "
+        f"{finding.message}"
+        for finding in findings
+    }
+    document = {
+        "schema": AUDIT_BASELINE_SCHEMA_VERSION,
+        "python": python_tag(),
+        "closure_digest": closure_digest,
+        "pairs": {
+            pair_id: {
+                "scalar": pairs[pair_id].scalar,
+                "ensemble": pairs[pair_id].ensemble,
+            }
+            for pair_id in sorted(pairs)
+        },
+        "findings": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -1,0 +1,94 @@
+"""The audit-rule registry, mirroring the lint registry's shape.
+
+Audit rules differ from lint rules in one way: they check the whole
+:class:`~repro.analysis.audit.project.ProjectModel` (plus the committed
+:class:`~repro.analysis.audit.baseline.AuditBaseline`) instead of one
+module at a time, because every audit invariant — pairing drift,
+worker-reachable state, closure membership — is a property of the
+graph, not of a single file.  Everything else (``RuleMeta``,
+``Finding``, severities, ``--rule`` filtering, registration by
+decorator) is reused from the lint layer.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.audit.baseline import AuditBaseline
+from repro.analysis.audit.project import ModuleInfo, ProjectModel
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.registry import RuleMeta
+
+
+class AuditRule(abc.ABC):
+    """Base class of every project-level audit rule."""
+
+    meta: RuleMeta
+
+    @abc.abstractmethod
+    def check(
+        self, project: ProjectModel, baseline: AuditBaseline
+    ) -> Iterator[Finding]:
+        """Yield every violation found in the project."""
+
+    def finding_at(
+        self, info: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        """Shorthand: a finding of this rule at ``node`` in ``info``."""
+        return info.ctx.finding(self.meta.code, self.meta.severity, node, message)
+
+    def module_finding(self, info: ModuleInfo, message: str) -> Finding:
+        """Shorthand: a finding anchored at a module's first line."""
+        return Finding(
+            rule=self.meta.code,
+            severity=self.meta.severity,
+            path=info.path,
+            module=info.name,
+            line=1,
+            col=0,
+            message=message,
+            source_line=info.ctx.source_line(1),
+        )
+
+
+_REGISTRY: Dict[str, Type[AuditRule]] = {}
+
+
+def register(cls: Type[AuditRule]) -> Type[AuditRule]:
+    """Class decorator adding an audit rule to the registry."""
+    code = cls.meta.code
+    if code in _REGISTRY and _REGISTRY[code] is not cls:
+        raise ValueError(f"duplicate audit rule code {code!r}")
+    _REGISTRY[code] = cls
+    return cls
+
+
+def all_audit_rule_classes() -> Dict[str, Type[AuditRule]]:
+    """Every registered audit rule class, keyed by code."""
+    # Importing the rules module is what populates the registry; done
+    # lazily so the registry module itself has no import cycle.
+    import repro.analysis.audit.rules  # noqa: F401  (side-effect import)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def build_audit_rules(codes: Optional[Sequence[str]] = None) -> List[AuditRule]:
+    """Instantiate the selected audit rules (all when ``codes`` is None).
+
+    Raises
+    ------
+    KeyError
+        If a requested code is not registered.
+    """
+    available = all_audit_rule_classes()
+    if codes is None:
+        return [available[code]() for code in sorted(available)]
+    selected: List[AuditRule] = []
+    for code in codes:
+        if code not in available:
+            known = ", ".join(available)
+            raise KeyError(f"unknown audit rule {code!r} (known: {known})")
+        selected.append(available[code]())
+    return selected

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Type
 
 from repro.analysis.lint.context import ModuleContext
 from repro.analysis.lint.findings import Finding, Severity
@@ -88,7 +88,13 @@ def build_rules(codes: Optional[Sequence[str]] = None) -> List[Rule]:
     return selected
 
 
-def rule_descriptions(rules: Iterable[Rule]) -> List[Dict[str, str]]:
+class DescribedRule(Protocol):
+    """Anything carrying a :class:`RuleMeta` (lint and audit rules)."""
+
+    meta: RuleMeta
+
+
+def rule_descriptions(rules: Iterable[DescribedRule]) -> List[Dict[str, str]]:
     """JSON-ready ``{code, name, severity, rationale}`` rows."""
     return [
         {

@@ -31,6 +31,11 @@ DETERMINISTIC_PACKAGES: Tuple[str, ...] = (
     "repro.reliability",
     "repro.checkpoint",
     "repro.ensemble",
+    # The planner derives job orderings that feed content addressing,
+    # and the audit derives the closure digest those addresses embed —
+    # both must be as entropy-free as the decision loop itself.
+    "repro.experiments.engine.planner",
+    "repro.analysis.audit",
 )
 
 #: Exact canonical names that are nondeterminism sources.
@@ -179,6 +184,9 @@ class NoEntropySources(Rule):
 ORDER_SENSITIVE_MODULES: Tuple[str, ...] = (
     "repro.experiments.engine",
     "repro.obs.manifest",
+    # Fingerprints and the closure digest are content addresses: any
+    # unordered fold here would make `repro audit` itself flaky.
+    "repro.analysis.audit",
 )
 
 _DICT_VIEWS = frozenset({"keys", "values", "items"})

@@ -475,6 +475,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="also list suppressed and baselined findings",
     )
 
+    audit = sub.add_parser(
+        "audit",
+        help="run the project-level repro audit (call graph, closure digest)",
+    )
+    audit.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="package tree to audit (default: the installed repro package)",
+    )
+    audit.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the schema-versioned JSON report instead of text",
+    )
+    audit.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="CODE",
+        default=None,
+        help="run only this audit rule (repeatable; default: all rules)",
+    )
+    audit.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: ./.repro-audit-baseline.json if present)",
+    )
+    audit.add_argument(
+        "--fix-baseline",
+        action="store_true",
+        help="rewrite the baseline (closure digest, pairs, findings) and exit 0",
+    )
+    audit.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered audit rule and exit",
+    )
+    audit.add_argument(
+        "--check-drift",
+        action="store_true",
+        help="also fail when the closure digest drifted from the baseline",
+    )
+    audit.add_argument(
+        "--show-closure",
+        action="store_true",
+        help="print the per-module fingerprint table behind the digest",
+    )
+    audit.add_argument(
+        "--explain",
+        default=None,
+        metavar="JOB_KEY",
+        help="explain whether a cached entry (key or >=8-char prefix) is stale",
+    )
+    audit.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings",
+    )
+
     sub.add_parser("list", help="list artefacts, applications and policies")
     return parser
 
@@ -999,6 +1060,74 @@ def _command_lint(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _command_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.audit import (
+        AUDIT_BASELINE_FILENAME,
+        AuditBaseline,
+        MALFORMED_MARKER_CODE,
+        all_audit_rule_classes,
+        audit_project,
+        closure_digest,
+        explain_job_key,
+        load_audit_baseline,
+        render_audit_human,
+        render_audit_json,
+        render_closure_table,
+        save_audit_baseline,
+    )
+    from repro.experiments.engine.cache import default_cache_root
+    from repro.experiments.engine.spec import behavior_digest
+
+    if args.list_rules:
+        for code, cls in all_audit_rule_classes().items():
+            meta = cls.meta
+            print(f"{code} [{meta.severity}] {meta.name}")
+            print(f"    {meta.rationale}")
+        print(f"{MALFORMED_MARKER_CODE} [error] behavior-irrelevant marker "
+              "without a reason")
+        print("    every fingerprint opt-out must say why it cannot change "
+              "behavior")
+        return 0
+    root = Path(args.root) if args.root else None
+    if args.explain:
+        digest = closure_digest(root) if root is not None else behavior_digest()
+        print(explain_job_key(args.explain, default_cache_root(), digest))
+        return 0
+    baseline_path = (
+        Path(args.baseline) if args.baseline else Path(AUDIT_BASELINE_FILENAME)
+    )
+    baseline = AuditBaseline()
+    if not args.fix_baseline and baseline_path.exists():
+        baseline = load_audit_baseline(baseline_path)
+    try:
+        report = audit_project(root, rules=args.rules, baseline=baseline)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    if args.fix_baseline:
+        assert report.closure is not None
+        count = save_audit_baseline(
+            baseline_path,
+            closure_digest=report.closure.digest,
+            pairs=report.pairs,
+            findings=report.active,
+        )
+        print(
+            f"baseline {baseline_path} rewritten: closure "
+            f"{report.closure.digest[:16]}, {len(report.pairs)} pair(s), "
+            f"{count} finding(s)"
+        )
+        return 0
+    if args.show_closure:
+        print(render_closure_table(report))
+        return 0
+    if args.json:
+        print(render_audit_json(report))
+    else:
+        print(render_audit_human(report, verbose=args.verbose))
+    return report.exit_code(check_drift=args.check_drift)
+
+
 def _command_list() -> int:
     print("artefacts   :", ", ".join(ARTEFACTS))
     print("applications:", ", ".join(APP_NAMES))
@@ -1024,6 +1153,8 @@ def main(argv=None) -> int:
         return _command_ensemble(args)
     if args.command == "lint":
         return _command_lint(args)
+    if args.command == "audit":
+        return _command_audit(args)
     if args.command == "all":
         return _command_all(args)
     experiment = ARTEFACTS[args.command]

@@ -12,7 +12,7 @@ the Figure 8 trade-off selects; :func:`build_action_space` can build the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.sched.affinity import AffinityMapping, mapping_by_name
 from repro.units import ghz
@@ -54,7 +54,7 @@ class Action:
 
 #: The full menu the sized spaces draw from, ordered so that a prefix of
 #: any length is a sensible space: thermal knobs early, extremes later.
-_ACTION_MENU: List[Action] = [
+_ACTION_MENU: Tuple[Action, ...] = (
     Action("os_default", "ondemand"),
     Action("spread_rr", "userspace", ghz(2.4)),
     Action("spread_rr", "userspace", ghz(2.0)),
@@ -67,7 +67,7 @@ _ACTION_MENU: List[Action] = [
     Action("paired_2211", "conservative"),
     Action("cluster_2", "userspace", ghz(2.0)),
     Action("spread_alt", "userspace", ghz(2.4)),
-]
+)
 
 
 class ActionSpace:

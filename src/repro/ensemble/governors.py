@@ -15,6 +15,8 @@ frequencies.
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 import numpy as np
 
 from repro.power.opp import OppLadder
@@ -35,13 +37,15 @@ KIND_USERSPACE = 4
 
 _ADAPTIVE_KINDS = (KIND_ONDEMAND, KIND_CONSERVATIVE)
 
-_NAME_TO_KIND = {
-    "ondemand": KIND_ONDEMAND,
-    "conservative": KIND_CONSERVATIVE,
-    "performance": KIND_PERFORMANCE,
-    "powersave": KIND_POWERSAVE,
-    "userspace": KIND_USERSPACE,
-}
+_NAME_TO_KIND = MappingProxyType(
+    {
+        "ondemand": KIND_ONDEMAND,
+        "conservative": KIND_CONSERVATIVE,
+        "performance": KIND_PERFORMANCE,
+        "powersave": KIND_POWERSAVE,
+        "userspace": KIND_USERSPACE,
+    }
+)
 
 
 def _kind_of(governor: Governor) -> int:

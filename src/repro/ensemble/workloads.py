@@ -16,6 +16,7 @@ it one value at a time preserves the scalar draw sequence exactly.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import List, Optional
 
 import numpy as np
@@ -29,12 +30,14 @@ PH_BARRIER = 1
 PH_SYNC = 2
 PH_DONE = 3
 
-_PHASE_TO_CODE = {
-    ThreadPhase.COMPUTE: PH_COMPUTE,
-    ThreadPhase.BARRIER: PH_BARRIER,
-    ThreadPhase.SYNC: PH_SYNC,
-    ThreadPhase.DONE: PH_DONE,
-}
+_PHASE_TO_CODE = MappingProxyType(
+    {
+        ThreadPhase.COMPUTE: PH_COMPUTE,
+        ThreadPhase.BARRIER: PH_BARRIER,
+        ThreadPhase.SYNC: PH_SYNC,
+        ThreadPhase.DONE: PH_DONE,
+    }
+)
 
 #: Work-unit draws buffered per refill; any size works (batch draws are
 #: bit-identical to repeated scalar draws), larger just amortises the

@@ -5,8 +5,9 @@ seeded simulations.  This package turns each grid cell into a hashable
 :class:`JobSpec`, fans batches of specs out across worker processes
 with deterministic result ordering (:class:`ExperimentEngine`), and
 memoises completed runs in a content-addressed on-disk cache
-(:class:`ResultCache`) keyed by a stable hash of the spec plus the
-package version — see DESIGN.md, "Job hashing and the result cache".
+(:class:`ResultCache`) keyed by a stable hash of the spec, the package
+version and the behavior-closure digest — see DESIGN.md, "Job hashing
+and the result cache".
 
 Layout:
 
@@ -41,8 +42,11 @@ from repro.experiments.engine.scheduler import (
     default_engine,
 )
 from repro.experiments.engine.spec import (
+    CLOSURE_DIGEST_ENV,
+    CLOSURE_ROOT_ENV,
     EnsembleJobSpec,
     JobSpec,
+    behavior_digest,
     canonical_json,
     canonicalise,
     ensemble_job,
@@ -54,6 +58,8 @@ from repro.experiments.engine.worker import execute_job
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "CLOSURE_DIGEST_ENV",
+    "CLOSURE_ROOT_ENV",
     "CacheStats",
     "EngineStats",
     "EnsembleJobSpec",
@@ -62,6 +68,7 @@ __all__ = [
     "JobSpec",
     "ResultCache",
     "artifact_dir",
+    "behavior_digest",
     "canonical_json",
     "canonicalise",
     "default_cache_root",

@@ -3,10 +3,19 @@
 Completed :class:`~repro.experiments.runner.RunSummary` objects are
 stored under ``.repro-cache/results/<key[:2]>/<key>.pkl`` where ``key``
 is :func:`repro.experiments.engine.spec.job_key` — a stable hash of the
-job spec plus the package version.  Because the simulations are
-deterministic, a hit is bit-identical to re-running the job; because the
-version participates in the key, bumping ``repro.__version__``
-invalidates every prior entry at once.
+job spec, the package version and the behavior-closure digest.  Because
+the simulations are deterministic, a hit is bit-identical to re-running
+the job.
+
+Invalidation is **closure-digest-driven**: the digest fingerprints every
+module transitively reachable from the job executors (see
+:mod:`repro.analysis.audit.closure`), so editing simulation code
+cold-misses stale entries automatically — no manual cache clearing —
+while doc-only edits keep the cache warm.  ``repro.__version__`` still
+participates in the key, but bumping it is for cut releases, not the
+edit-run-edit loop.  Each stored payload records the version and digest
+it was keyed under; :func:`repro.analysis.audit.report.explain_job_key`
+(``repro audit --explain KEY``) decodes why any entry is fresh or stale.
 
 The cache also owns the *artifact routing* policy: formatted artefact
 tables regenerated at full scale belong in the repository's committed
@@ -24,7 +33,7 @@ from pathlib import Path
 from typing import Optional
 
 import repro
-from repro.experiments.engine.spec import JobSpec, job_key
+from repro.experiments.engine.spec import JobSpec, behavior_digest, job_key
 from repro.ioutil import atomic_write
 
 #: Environment variable relocating the cache tree (tests, CI).
@@ -54,12 +63,20 @@ def artifact_dir(scale: float, results_dir: Path) -> Path:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store/invalidation counters of one cache instance."""
+    """Hit/miss/store/invalidation counters of one cache instance.
+
+    ``invalidated`` is the total number of evicted entries; ``corrupt``
+    (unreadable pickles) and ``mismatched`` (readable entries keyed
+    under a different version or closure digest) break that total down
+    by cause for the evictions :meth:`ResultCache.get` performs.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     invalidated: int = 0
+    corrupt: int = 0
+    mismatched: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view (for logging and tests)."""
@@ -68,6 +85,8 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalidated": self.invalidated,
+            "corrupt": self.corrupt,
+            "mismatched": self.mismatched,
         }
 
 
@@ -86,19 +105,23 @@ class ResultCache:
 
     root: Optional[Path] = None
     version: Optional[str] = None
+    #: Behavior-closure digest entries are keyed and validated under
+    #: (``None`` -> the current tree's, see ``spec.behavior_digest``).
+    closure: Optional[str] = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root) if self.root is not None else default_cache_root()
         self.version = self.version if self.version is not None else repro.__version__
+        self.closure = self.closure if self.closure is not None else behavior_digest()
 
     # ------------------------------------------------------------------
     # Addressing
     # ------------------------------------------------------------------
 
     def key_for(self, spec: JobSpec) -> str:
-        """The content address of one job under this cache's version."""
-        return job_key(spec, self.version)
+        """One job's content address under this cache's version + closure."""
+        return job_key(spec, self.version, self.closure)
 
     def _path_for(self, key: str) -> Path:
         return self.root / "results" / key[:2] / f"{key}.pkl"
@@ -110,8 +133,11 @@ class ResultCache:
     def get(self, spec: JobSpec):
         """The cached summary for ``spec``, or ``None`` (counted miss).
 
-        A corrupt or version-mismatched entry is deleted (counted as an
-        invalidation) and reported as a miss.
+        A corrupt entry (unreadable pickle) or a mismatched one (keyed
+        under a different version or closure digest) is deleted and
+        reported as a miss; the two causes are counted distinctly in
+        ``stats.corrupt`` / ``stats.mismatched`` on top of the shared
+        ``stats.invalidated`` total.
         """
         path = self._path_for(self.key_for(spec))
         if not path.exists():
@@ -120,11 +146,19 @@ class ResultCache:
         try:
             with path.open("rb") as handle:
                 payload = pickle.load(handle)
-            if payload.get("version") != self.version:
-                raise ValueError("version mismatch")
             summary = payload["summary"]
         except Exception:
             path.unlink(missing_ok=True)
+            self.stats.corrupt += 1
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        if (
+            payload.get("version") != self.version
+            or payload.get("closure") != self.closure
+        ):
+            path.unlink(missing_ok=True)
+            self.stats.mismatched += 1
             self.stats.invalidated += 1
             self.stats.misses += 1
             return None
@@ -135,7 +169,12 @@ class ResultCache:
         """Store one summary; atomic and durable against crashes."""
         key = self.key_for(spec)
         path = self._path_for(key)
-        payload = {"version": self.version, "key": key, "summary": summary}
+        payload = {
+            "version": self.version,
+            "closure": self.closure,
+            "key": key,
+            "summary": summary,
+        }
         atomic_write(
             path,
             lambda handle: pickle.dump(

@@ -10,10 +10,15 @@ the content-addressed cache (:mod:`repro.experiments.engine.cache`)
 sound.
 
 The cache key is a SHA-256 over a canonical JSON rendering of the spec
-plus the package version (:func:`job_key`).  The rendering walks nested
-dataclasses field by field and tags each with its qualified class name,
-so *any* config-field change — a new default, a renamed field, a tweaked
-probability — changes the key and invalidates the cached result.
+plus the package version plus the **behavior-closure digest**
+(:func:`job_key`).  The rendering walks nested dataclasses field by
+field and tags each with its qualified class name, so *any* config-field
+change — a new default, a renamed field, a tweaked probability — changes
+the key.  The closure digest (:func:`behavior_digest`, computed by
+:mod:`repro.analysis.audit.closure`) fingerprints every module
+transitively reachable from the job executors, so editing simulation
+*code* re-keys the cache automatically too, while doc-only edits leave
+keys — and therefore warm caches — untouched.
 """
 
 from __future__ import annotations
@@ -21,7 +26,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Tuple
 
 import repro
@@ -218,6 +225,35 @@ def ensemble_job(members) -> EnsembleJobSpec:
 # Canonical serialisation and hashing
 # ---------------------------------------------------------------------------
 
+#: Environment variable pointing the closure digest at an alternate
+#: package tree (tests audit fixture trees without installing them).
+CLOSURE_ROOT_ENV = "REPRO_CLOSURE_ROOT"
+
+#: Environment variable pinning the closure digest to a literal value,
+#: bypassing the AST walk entirely (fixtures, cross-tree comparisons).
+CLOSURE_DIGEST_ENV = "REPRO_CLOSURE_DIGEST"
+
+
+def behavior_digest() -> str:
+    """The behavior-closure digest mixed into every job key.
+
+    Resolution order: the literal ``$REPRO_CLOSURE_DIGEST`` pin if set,
+    otherwise the digest of the tree at ``$REPRO_CLOSURE_ROOT`` (the
+    installed ``repro`` package when unset).  The underlying computation
+    is memoized per process and per root, so repeated key derivations —
+    and worker processes forked after the first one — pay the AST walk
+    at most once.
+    """
+    pinned = os.environ.get(CLOSURE_DIGEST_ENV)
+    if pinned:
+        return pinned
+    # Imported lazily: the audit subpackage is excluded from the closure
+    # itself, and most spec consumers never need it resolved at import.
+    from repro.analysis.audit.closure import closure_digest
+
+    root = os.environ.get(CLOSURE_ROOT_ENV)
+    return closure_digest(Path(root) if root else None)
+
 
 def canonicalise(value):
     """Reduce a spec value to a JSON-serialisable canonical form.
@@ -247,15 +283,32 @@ def canonicalise(value):
     raise TypeError(f"cannot canonicalise {type(value).__name__}: {value!r}")
 
 
-def canonical_json(spec: JobSpec, version: Optional[str] = None) -> str:
-    """The canonical JSON document a job key is hashed over."""
+def canonical_json(
+    spec: JobSpec,
+    version: Optional[str] = None,
+    closure: Optional[str] = None,
+) -> str:
+    """The canonical JSON document a job key is hashed over.
+
+    Carries the package version *and* the behavior-closure digest, so a
+    key changes when the spec changes, when a release is cut, or when
+    any code reachable from the job executors changes behavior.  Both
+    default to the current tree's values.
+    """
     document = {
+        "closure": closure if closure is not None else behavior_digest(),
         "version": version if version is not None else repro.__version__,
         "spec": canonicalise(spec),
     }
     return json.dumps(document, sort_keys=True, separators=(",", ":"))
 
 
-def job_key(spec: JobSpec, version: Optional[str] = None) -> str:
-    """Content address of a job: SHA-256 of spec + package version."""
-    return hashlib.sha256(canonical_json(spec, version).encode("utf-8")).hexdigest()
+def job_key(
+    spec: JobSpec,
+    version: Optional[str] = None,
+    closure: Optional[str] = None,
+) -> str:
+    """Content address of a job: SHA-256 of spec + version + closure."""
+    return hashlib.sha256(
+        canonical_json(spec, version, closure).encode("utf-8")
+    ).hexdigest()

@@ -22,7 +22,8 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, IO, Iterable, Iterator, List, Optional, Tuple, Union
+from types import MappingProxyType
+from typing import Dict, IO, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 #: Version stamped into (and required of) every trace record.
 SCHEMA_VERSION = 1
@@ -36,7 +37,9 @@ _NULLABLE_STR = (str, type(None))
 _NULLABLE_LIST = (list, type(None))
 
 #: Required payload fields (and accepted JSON types) per event type.
-EVENT_FIELDS: Dict[str, Dict[str, tuple]] = {
+#: Read-only: trace emitters run inside engine worker processes, so the
+#: schema table must never be mutable shared state.
+EVENT_FIELDS: Mapping[str, Dict[str, tuple]] = MappingProxyType({
     "run_start": {
         "num_cores": (int,),
         "governor": _STR,
@@ -95,7 +98,7 @@ EVENT_FIELDS: Dict[str, Dict[str, tuple]] = {
         "completed": _BOOL,
         "ticks": (int,),
     },
-}
+})
 
 #: Actuation outcomes a governor/mapping-change event may carry.
 ACTUATION_OUTCOMES = ("ok", "fail", "noop")

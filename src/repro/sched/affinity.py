@@ -143,7 +143,7 @@ def _build_presets(num_threads: int = 6) -> Dict[str, AffinityMapping]:
 MAPPING_PRESETS: Dict[str, AffinityMapping] = _build_presets()
 
 #: Preset names in a stable order (the action-space order).
-MAPPING_ORDER: List[str] = [
+MAPPING_ORDER: Tuple[str, ...] = (
     "os_default",
     "spread_rr",
     "paired_2211",
@@ -151,7 +151,7 @@ MAPPING_ORDER: List[str] = [
     "half_split",
     "cluster_2",
     "spread_alt",
-]
+)
 
 
 def mapping_by_name(name: str, num_threads: int = 6) -> AffinityMapping:

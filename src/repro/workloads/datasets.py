@@ -12,7 +12,8 @@ saturates all cores and reaches 69 degC under Linux).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from types import MappingProxyType
+from typing import List, Mapping, Tuple
 
 
 @dataclass(frozen=True)
@@ -38,41 +39,42 @@ class DatasetOverlay:
 #: Dataset tables per application.  The first dataset of each application
 #: is the heaviest, mirroring the paper where set 1 / clip 1 / seq 1 show
 #: the largest thermal effects.
-_DATASETS: Dict[str, List[DatasetOverlay]] = {
+_DATASETS: Mapping[str, Tuple[DatasetOverlay, ...]] = MappingProxyType({
     # tachyon renders independent images from a work queue: no barrier.
-    "tachyon": [
+    "tachyon": (
         DatasetOverlay("set 1", 4.0e9, 0.68, 0.02, 0.05, 280, barrier_sync=False),
         DatasetOverlay("set 2", 2.6e9, 0.78, 1.60, 0.30, 200, barrier_sync=False),
         DatasetOverlay("set 3", 2.4e9, 0.75, 2.20, 0.30, 180, barrier_sync=False),
-    ],
-    "mpeg_dec": [
+    ),
+    "mpeg_dec": (
         DatasetOverlay("clip 1", 3.00e9, 0.85, 5.50, 0.15, 150),
         DatasetOverlay("clip 2", 2.80e9, 0.82, 5.20, 0.25, 150),
         DatasetOverlay("clip 3", 2.60e9, 0.80, 4.80, 0.20, 150),
-    ],
-    "mpeg_enc": [
+    ),
+    "mpeg_enc": (
         DatasetOverlay("seq 1", 3.40e9, 0.80, 6.40, 0.20, 170),
         DatasetOverlay("seq 2", 3.60e9, 0.82, 6.80, 0.25, 160),
         DatasetOverlay("seq 3", 3.20e9, 0.78, 6.00, 0.20, 170),
-    ],
+    ),
     # face_rec's threads stall on pairwise dependencies, not a global
     # barrier: staggered stalls that Linux's idle balancing absorbs.
-    "face_rec": [
+    "face_rec": (
         DatasetOverlay("img 1", 6.00e9, 0.90, 2.20, 0.35, 150, barrier_sync=False),
         DatasetOverlay("img 2", 5.50e9, 0.88, 2.10, 0.35, 150, barrier_sync=False),
         DatasetOverlay("img 3", 5.00e9, 0.85, 2.00, 0.35, 150, barrier_sync=False),
-    ],
-    "sphinx": [
+    ),
+    "sphinx": (
         DatasetOverlay("audio 1", 2.50e9, 0.82, 1.00, 0.30, 200),
         DatasetOverlay("audio 2", 2.20e9, 0.80, 0.90, 0.30, 200),
         DatasetOverlay("audio 3", 2.00e9, 0.78, 0.80, 0.30, 200),
-    ],
-}
+    ),
+})
 
-#: All dataset labels keyed by application.
-DATASET_NAMES: Dict[str, List[str]] = {
-    app: [d.label for d in overlays] for app, overlays in _DATASETS.items()
-}
+#: All dataset labels keyed by application (read-only, like the tables
+#: above: dataset lookups happen inside engine worker processes).
+DATASET_NAMES: Mapping[str, Tuple[str, ...]] = MappingProxyType(
+    {app: tuple(d.label for d in overlays) for app, overlays in sorted(_DATASETS.items())}
+)
 
 
 def dataset_names_for(app: str) -> List[str]:

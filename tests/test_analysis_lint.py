@@ -270,6 +270,22 @@ class TestDET001:
         )
         assert report.clean
 
+    def test_planner_and_audit_are_in_scope(self):
+        from repro.analysis.lint.rules.determinism import DETERMINISTIC_PACKAGES
+
+        assert "repro.experiments.engine.planner" in DETERMINISTIC_PACKAGES
+        assert "repro.analysis.audit" in DETERMINISTIC_PACKAGES
+        for module in (
+            "repro.experiments.engine.planner",
+            "repro.analysis.audit.fixture",
+        ):
+            report = lint_fixture(
+                "import time\nNOW = time.time()\n",
+                module=module,
+                rules=["DET001"],
+            )
+            assert codes(report) == ["DET001"], module
+
 
 # ---------------------------------------------------------------------------
 # DET002 — no unordered iteration on hashing/caching paths
@@ -328,6 +344,21 @@ class TestDET002:
             rules=["DET002"],
         )
         assert report.clean
+
+    def test_audit_package_is_in_scope(self):
+        from repro.analysis.lint.rules.determinism import ORDER_SENSITIVE_MODULES
+
+        assert "repro.analysis.audit" in ORDER_SENSITIVE_MODULES
+        report = lint_fixture(
+            """
+            def fold(entries):
+                for key in entries.keys():
+                    yield key
+            """,
+            module="repro.analysis.audit.fixture",
+            rules=["DET002"],
+        )
+        assert codes(report) == ["DET002"]
 
 
 # ---------------------------------------------------------------------------

@@ -221,7 +221,7 @@ def test_unknown_app_and_dataset():
 
 def test_dataset_names_structure():
     assert set(DATASET_NAMES) == set(APP_NAMES)
-    assert DATASET_NAMES["mpeg_dec"] == ["clip 1", "clip 2", "clip 3"]
+    assert DATASET_NAMES["mpeg_dec"] == ("clip 1", "clip 2", "clip 3")
 
 
 def test_heaviest_dataset_first():
